@@ -1,0 +1,327 @@
+package gonoc
+
+// One benchmark per table/figure of the paper (see DESIGN.md's
+// per-experiment index), plus micro-benchmarks of the substrates the
+// figures run on. The figure benches use reduced cycle counts so the
+// full suite stays tractable; cmd/nocfigs regenerates the figures at
+// publication scale.
+
+import (
+	"testing"
+
+	"gonoc/internal/analysis"
+	"gonoc/internal/core"
+	"gonoc/internal/noc"
+	"gonoc/internal/routing"
+	"gonoc/internal/sim"
+	"gonoc/internal/stats"
+	"gonoc/internal/topology"
+)
+
+// benchOpts are the reduced settings shared by the figure benchmarks.
+func benchOpts() core.FigureOpts {
+	return core.FigureOpts{
+		Sizes:            []int{8},
+		LoadFractions:    []float64{0.5, 1.25},
+		UniformFlitRates: []float64{0.1, 0.4},
+		Warmup:           300,
+		Measure:          2500,
+		Seed:             1,
+	}
+}
+
+// BenchmarkFig2Diameter regenerates Figure 2 (network diameter vs N).
+func BenchmarkFig2Diameter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := core.Fig2Diameter(4, 64)
+		if len(t.Series) != 5 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkFig3AvgDistance regenerates Figure 3 (E[D] vs N).
+func BenchmarkFig3AvgDistance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := core.Fig3AvgDistance(4, 64)
+		if len(t.Series) != 5 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkFig5Validation regenerates Figure 5 (analytic vs simulated
+// average distance).
+func BenchmarkFig5Validation(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Fig5Validation(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6HotspotThroughput regenerates Figure 6 (throughput, one
+// hot-spot destination).
+func BenchmarkFig6HotspotThroughput(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Fig6HotspotThroughput(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7HotspotLatency regenerates Figure 7 (latency, one
+// hot-spot destination).
+func BenchmarkFig7HotspotLatency(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Fig7HotspotLatency(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8DoubleHotspotThroughput regenerates Figure 8
+// (throughput, two hot-spot destinations, placements A/B/C).
+func BenchmarkFig8DoubleHotspotThroughput(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Fig8DoubleHotspotThroughput(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9DoubleHotspotLatency regenerates Figure 9 (latency, two
+// hot-spot destinations).
+func BenchmarkFig9DoubleHotspotLatency(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Fig9DoubleHotspotLatency(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10UniformThroughput regenerates Figure 10 (throughput,
+// homogeneous uniform traffic).
+func BenchmarkFig10UniformThroughput(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Fig10UniformThroughput(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11UniformLatency regenerates Figure 11 (latency,
+// homogeneous uniform traffic).
+func BenchmarkFig11UniformLatency(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Fig11UniformLatency(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLinkCounts verifies and times the Section-2 link-count
+// table (2N ring, 3N spidergon, 2(m-1)n+2(n-1)m mesh) across sizes.
+func BenchmarkLinkCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for n := 4; n <= 64; n += 2 {
+			if topology.LinkCount(topology.MustRing(n)) != analysis.LinkCountRing(n) {
+				b.Fatal("ring link count")
+			}
+			if topology.LinkCount(topology.MustSpidergon(n)) != analysis.LinkCountSpidergon(n) {
+				b.Fatal("spidergon link count")
+			}
+			c, r := analysis.IdealMeshDims(n)
+			if topology.LinkCount(topology.MustMesh(c, r)) != analysis.LinkCountMesh(c, r) {
+				b.Fatal("mesh link count")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationBuffers sweeps the output queue depth (the buffer
+// tuning the paper reports as having "marginal impact on the peak
+// performances") and reports saturated throughput per depth.
+func BenchmarkAblationBuffers(b *testing.B) {
+	for _, depth := range []int{1, 3, 6} {
+		depth := depth
+		b.Run(benchName("outbuf", depth), func(b *testing.B) {
+			var tput float64
+			for i := 0; i < b.N; i++ {
+				s := core.NewScenario(core.Spidergon, 16, core.UniformTraffic, 0.4/6)
+				s.Config.OutBufCap = depth
+				s.Warmup, s.Measure = 300, 2500
+				r, err := core.Run(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tput = r.Throughput
+			}
+			b.ReportMetric(tput, "flits/cycle")
+		})
+	}
+}
+
+// BenchmarkAblationPacketLen sweeps the packet length at constant flit
+// load — the paper's packet-format axis.
+func BenchmarkAblationPacketLen(b *testing.B) {
+	for _, plen := range []int{2, 6, 12} {
+		plen := plen
+		b.Run(benchName("flits", plen), func(b *testing.B) {
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				s := core.NewScenario(core.Spidergon, 16, core.UniformTraffic, 0)
+				s.Config.PacketLen = plen
+				s.Lambda = 0.3 / float64(plen)
+				s.Warmup, s.Measure = 300, 2500
+				r, err := core.Run(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lat = r.MeanLatency
+			}
+			b.ReportMetric(lat, "cycles/packet")
+		})
+	}
+}
+
+// BenchmarkAblationSwitching compares the three switching disciplines
+// of Section 2's design discussion (wormhole vs virtual cut-through vs
+// store-and-forward) at equal load and reports mean latency.
+func BenchmarkAblationSwitching(b *testing.B) {
+	for _, mode := range []noc.Switching{noc.Wormhole, noc.VirtualCutThrough, noc.StoreAndForward} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				s := core.NewScenario(core.Spidergon, 16, core.UniformTraffic, 0.02)
+				s.Config.Switching = mode
+				s.Config.OutBufCap = 6
+				s.Warmup, s.Measure = 300, 2500
+				r, err := core.Run(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lat = r.MeanLatency
+			}
+			b.ReportMetric(lat, "cycles/packet")
+		})
+	}
+}
+
+// BenchmarkAblationRouting compares deterministic XY against west-first
+// adaptive routing on a hot-spotted mesh and reports throughput.
+func BenchmarkAblationRouting(b *testing.B) {
+	for _, override := range []string{"xy", "west-first", "table"} {
+		override := override
+		b.Run(override, func(b *testing.B) {
+			var tput float64
+			for i := 0; i < b.N; i++ {
+				s := core.NewScenario(core.Mesh, 16, core.HotSpotTraffic, 2.0/(15.0*6.0))
+				s.HotSpots = []int{15}
+				s.Routing = override
+				s.Warmup, s.Measure = 300, 2500
+				r, err := core.Run(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tput = r.Throughput
+			}
+			b.ReportMetric(tput, "flits/cycle")
+		})
+	}
+}
+
+func benchName(k string, v int) string {
+	return k + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkNetworkStep measures the per-cycle cost of a loaded 16-node
+// Spidergon network.
+func BenchmarkNetworkStep(b *testing.B) {
+	s := topology.MustSpidergon(16)
+	net, err := noc.NewNetwork(s, routing.NewSpidergonRouting(s), noc.DefaultConfig(), stats.NewCollector(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := sim.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%4 == 0 {
+			src := rng.Intn(16)
+			dst := rng.Intn(16)
+			if src != dst {
+				_ = net.Inject(src, dst)
+			}
+		}
+		net.Step()
+	}
+}
+
+// BenchmarkKernelSchedule measures event scheduling + dispatch.
+func BenchmarkKernelSchedule(b *testing.B) {
+	k := sim.NewKernel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.ScheduleAfter(1, func() {})
+		k.Step()
+	}
+}
+
+// BenchmarkRoutingDecision measures one across-first routing decision.
+func BenchmarkRoutingDecision(b *testing.B) {
+	s := topology.MustSpidergon(32)
+	a := routing.NewSpidergonRouting(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Route(i%32, (i+11)%32, 0)
+	}
+}
+
+// BenchmarkBFSDiameter measures the exact-diameter computation used by
+// the analytic figures on the largest studied size.
+func BenchmarkBFSDiameter(b *testing.B) {
+	m := topology.MustIrregularMesh(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if topology.Diameter(m) < 1 {
+			b.Fatal("bad diameter")
+		}
+	}
+}
+
+// BenchmarkDependencyGraph measures the deadlock-freedom proof on a
+// 16-node spidergon.
+func BenchmarkDependencyGraph(b *testing.B) {
+	s := topology.MustSpidergon(16)
+	a := routing.NewSpidergonRouting(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := routing.CheckDeadlockFree(a, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

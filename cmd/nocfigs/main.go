@@ -1,0 +1,92 @@
+// Command nocfigs regenerates the tables behind every figure of the
+// paper's evaluation (Figures 2, 3, 5, 6, 7, 8, 9, 10, 11).
+//
+// Usage:
+//
+//	nocfigs                  # all figures, text tables
+//	nocfigs -fig 6           # one figure
+//	nocfigs -fig 10 -csv     # CSV output
+//	nocfigs -sizes 8,24 -measure 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gonoc/internal/core"
+)
+
+func main() {
+	var (
+		fig     = flag.Int("fig", 0, "figure number (2,3,5,6,7,8,9,10,11); 0 = all")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		plot    = flag.Bool("plot", false, "render an ASCII chart instead of a table")
+		sizes   = flag.String("sizes", "", "comma-separated node counts (default 8,16,24,32)")
+		warmup  = flag.Uint64("warmup", 0, "warm-up cycles per run (default 2000)")
+		measure = flag.Uint64("measure", 0, "measured cycles per run (default 20000)")
+		seed    = flag.Uint64("seed", 0, "master seed (default 1)")
+		minN    = flag.Int("minN", 4, "smallest N for analytic figures 2-3")
+		maxN    = flag.Int("maxN", 64, "largest N for analytic figures 2-3")
+	)
+	flag.Parse()
+
+	opts := core.FigureOpts{Warmup: *warmup, Measure: *measure, Seed: *seed}
+	if *sizes != "" {
+		for _, p := range strings.Split(*sizes, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				fatal(fmt.Errorf("bad size %q: %v", p, err))
+			}
+			opts.Sizes = append(opts.Sizes, v)
+		}
+	}
+
+	type genFn func() (*core.Table, error)
+	gens := map[int]genFn{
+		2:  func() (*core.Table, error) { return core.Fig2Diameter(*minN, *maxN), nil },
+		3:  func() (*core.Table, error) { return core.Fig3AvgDistance(*minN, *maxN), nil },
+		5:  func() (*core.Table, error) { return core.Fig5Validation(opts) },
+		6:  func() (*core.Table, error) { return core.Fig6HotspotThroughput(opts) },
+		7:  func() (*core.Table, error) { return core.Fig7HotspotLatency(opts) },
+		8:  func() (*core.Table, error) { return core.Fig8DoubleHotspotThroughput(opts) },
+		9:  func() (*core.Table, error) { return core.Fig9DoubleHotspotLatency(opts) },
+		10: func() (*core.Table, error) { return core.Fig10UniformThroughput(opts) },
+		11: func() (*core.Table, error) { return core.Fig11UniformLatency(opts) },
+	}
+	order := []int{2, 3, 5, 6, 7, 8, 9, 10, 11}
+
+	run := func(id int) {
+		gen, ok := gens[id]
+		if !ok {
+			fatal(fmt.Errorf("no such figure: %d", id))
+		}
+		t, err := gen()
+		if err != nil {
+			fatal(err)
+		}
+		switch {
+		case *csv:
+			fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+		case *plot:
+			fmt.Println(t.Plot(72, 20))
+		default:
+			fmt.Println(t.Text())
+		}
+	}
+
+	if *fig != 0 {
+		run(*fig)
+		return
+	}
+	for _, id := range order {
+		run(id)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nocfigs:", err)
+	os.Exit(1)
+}

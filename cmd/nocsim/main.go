@@ -1,0 +1,137 @@
+// Command nocsim runs a single NoC simulation and prints its
+// performance indexes.
+//
+// Usage:
+//
+//	nocsim -topo spidergon -n 16 -traffic uniform -lambda 0.02 \
+//	       -warmup 1000 -cycles 10000 -seed 1
+//
+// Topologies: ring, spidergon, mesh, imesh, fmesh, torus.
+// Traffic: uniform, or hotspot with -targets "0,8".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gonoc/internal/core"
+)
+
+func main() {
+	var (
+		topo    = flag.String("topo", "spidergon", "topology: ring|spidergon|mesh|imesh|fmesh|torus")
+		n       = flag.Int("n", 16, "number of nodes")
+		cols    = flag.Int("cols", 0, "mesh/torus columns (0 = balanced factorisation)")
+		rows    = flag.Int("rows", 0, "mesh/torus rows (0 = balanced factorisation)")
+		tk      = flag.String("traffic", "uniform", "traffic: uniform|hotspot")
+		targets = flag.String("targets", "", "hotspot targets, comma separated (default: paper placement)")
+		lambda  = flag.Float64("lambda", 0.01, "packets/cycle per source")
+		flits   = flag.Float64("flitrate", 0, "per-source flits/cycle (overrides -lambda when > 0)")
+		pkt     = flag.Int("pkt", 6, "packet length in flits")
+		outbuf  = flag.Int("outbuf", 3, "output queue capacity in flits")
+		inbuf   = flag.Int("inbuf", 1, "input buffer capacity in flits")
+		warmup  = flag.Uint64("warmup", 1000, "warm-up cycles (unmeasured)")
+		cycles  = flag.Uint64("cycles", 10000, "measured cycles")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		jsonOut = flag.Bool("json", false, "emit the result as JSON")
+		scnFile = flag.String("config", "", "JSON scenario file (overrides other flags)")
+	)
+	flag.Parse()
+
+	if *scnFile != "" {
+		data, err := os.ReadFile(*scnFile)
+		if err != nil {
+			fatal(err)
+		}
+		scenarios, err := core.ReadScenarios(data)
+		if err != nil {
+			fatal(err)
+		}
+		for _, sc := range scenarios {
+			r, err := core.Run(sc)
+			if err != nil {
+				fatal(err)
+			}
+			if *jsonOut {
+				if err := core.WriteResultJSON(os.Stdout, r); err != nil {
+					fatal(err)
+				}
+			} else {
+				report(sc, r)
+			}
+		}
+		return
+	}
+
+	s := core.NewScenario(core.TopologyKind(*topo), *n, core.TrafficKind(*tk), *lambda)
+	s.Cols, s.Rows = *cols, *rows
+	s.Warmup, s.Measure, s.Seed = *warmup, *cycles, *seed
+	s.Config.PacketLen = *pkt
+	s.Config.OutBufCap = *outbuf
+	s.Config.InBufCap = *inbuf
+	if *flits > 0 {
+		s.Lambda = *flits / float64(*pkt)
+	}
+	if s.Traffic == core.HotSpotTraffic {
+		if *targets != "" {
+			hs, err := parseTargets(*targets)
+			if err != nil {
+				fatal(err)
+			}
+			s.HotSpots = hs
+		} else {
+			s.HotSpots = []int{core.SingleHotspot(s.Topo, s.Nodes, false, s.Cols, s.Rows)}
+		}
+	}
+
+	r, err := core.Run(s)
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		if err := core.WriteResultJSON(os.Stdout, r); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	report(s, r)
+}
+
+func report(s core.Scenario, r core.Result) {
+	fmt.Printf("scenario            %s\n", s.Label())
+	fmt.Printf("topology            %s (%d sources)\n", r.TopologyName, r.Sources)
+	fmt.Printf("offered load        %.4f flits/cycle (%.4f per source)\n", r.OfferedFlitRate, r.OfferedPerSource)
+	fmt.Printf("accepted load       %.4f flits/cycle\n", r.AcceptedFlitRate)
+	fmt.Printf("throughput          %.4f flits/cycle (%.4f per node, %.4f packets/cycle)\n",
+		r.Throughput, r.ThroughputPerNode, r.PacketRate)
+	fmt.Printf("latency mean        %.2f cycles (p50 %.1f, p95 %.1f; network-only %.2f)\n",
+		r.MeanLatency, r.P50Latency, r.P95Latency, r.MeanNetLatency)
+	fmt.Printf("mean hops           %.3f\n", r.MeanHops)
+	fmt.Printf("packets             injected %d, ejected %d, source-blocked cycles %d\n",
+		r.InjectedPackets, r.EjectedPackets, r.SourceBlocked)
+	fmt.Printf("link utilisation    mean %.4f, max %.4f flits/cycle (%d traversals)\n",
+		r.MeanLinkUtil, r.MaxLinkUtil, r.LinkTraversals)
+	fmt.Printf("energy estimate     %.2f per packet, %.0f total (default cost model)\n",
+		r.EnergyPerPacket, r.TotalEnergy)
+}
+
+func parseTargets(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad target %q: %v", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nocsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Command topostat prints analytic and graph-theoretic properties of
+// the studied topologies over a range of node counts: diameter, average
+// distance, link count, bisection, degree range, vertex symmetry — the
+// quantities behind Section 2 of the paper.
+//
+// Usage:
+//
+//	topostat -n 16                # one size, all topologies
+//	topostat -from 8 -to 32       # a range
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gonoc/internal/analysis"
+	"gonoc/internal/topology"
+)
+
+func main() {
+	var (
+		one  = flag.Int("n", 0, "single node count (overrides -from/-to)")
+		from = flag.Int("from", 8, "first node count")
+		to   = flag.Int("to", 32, "last node count")
+	)
+	flag.Parse()
+
+	lo, hi := *from, *to
+	if *one != 0 {
+		lo, hi = *one, *one
+	}
+	if lo < 4 || hi < lo {
+		fmt.Fprintln(os.Stderr, "topostat: need 4 <= from <= to")
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-6s %-22s %5s %7s %7s %6s %6s %9s\n",
+		"N", "topology", "ND", "E[D]", "links", "bisec", "degree", "symmetric")
+	for n := lo; n <= hi; n++ {
+		row(topology.MustRing(n))
+		if n%2 == 0 {
+			row(topology.MustSpidergon(n))
+		}
+		row(topology.MustFactorMesh(n))
+		row(topology.MustIrregularMesh(n))
+	}
+	fmt.Println()
+	fmt.Println("paper formulas at the range endpoints:")
+	for _, n := range []int{lo, hi} {
+		fmt.Printf("  N=%d: ring ND=%d E[D]=%.3f | spidergon ND=%d",
+			n, analysis.RingDiameter(n), analysis.RingAvgDistancePaper(n),
+			analysis.SpidergonDiameter(evenDown(n)))
+		cols, rows := analysis.IdealMeshDims(n)
+		fmt.Printf(" | mesh %dx%d ND=%d E[D]=%.3f\n",
+			cols, rows, analysis.MeshDiameter(cols, rows), analysis.MeshAvgDistancePaper(cols, rows))
+	}
+}
+
+func evenDown(n int) int {
+	if n%2 == 1 {
+		return n - 1
+	}
+	return n
+}
+
+func row(t topology.Topology) {
+	deg := fmt.Sprintf("%d-%d", topology.MinDegree(t), topology.MaxDegree(t))
+	fmt.Printf("%-6d %-22s %5d %7.3f %7d %6d %6s %9v\n",
+		t.Nodes(), t.Name(),
+		topology.Diameter(t), topology.AverageDistance(t),
+		topology.LinkCount(t), topology.BisectionChannels(t),
+		deg, topology.LooksVertexSymmetric(t))
+}

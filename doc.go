@@ -1,0 +1,14 @@
+// Package gonoc is a cycle-accurate Network-on-Chip simulation and
+// analysis library reproducing Bononi & Concer, "Simulation and
+// Analysis of Network on Chip Architectures: Ring, Spidergon and 2D
+// Mesh" (DATE 2006).
+//
+// The library lives under internal/: topology models (ring, Spidergon,
+// mesh family, torus, chordal ring), routing algorithms with a
+// channel-dependency-graph deadlock checker, a wormhole-switched
+// flit-level network model, Poisson/hot-spot/uniform traffic
+// generation, and an experiment layer (internal/core) that regenerates
+// every figure of the paper. See README.md for a tour and
+// EXPERIMENTS.md for paper-versus-measured results; bench_test.go in
+// this directory holds one benchmark per paper figure.
+package gonoc

@@ -1,0 +1,217 @@
+package gonoc
+
+// Cross-module integration tests: invariants that only hold when the
+// kernel, topologies, routing, network model, traffic and experiment
+// layers agree with each other.
+
+import (
+	"math"
+	"testing"
+
+	"gonoc/internal/analysis"
+	"gonoc/internal/core"
+	"gonoc/internal/noc"
+	"gonoc/internal/routing"
+	"gonoc/internal/sim"
+	"gonoc/internal/stats"
+	"gonoc/internal/topology"
+	"gonoc/internal/traffic"
+)
+
+// The same recorded trace replayed on Ring, Spidergon and Mesh of equal
+// size delivers exactly the same packet population; topology changes
+// latency, never correctness.
+func TestTraceReplayAcrossTopologies(t *testing.T) {
+	const n = 12
+	tr := traffic.Record(traffic.Uniform{N: n}, traffic.Poisson, 0.02, n, 3000, 77)
+	if len(tr.Events) == 0 {
+		t.Fatal("empty trace")
+	}
+	type build struct {
+		name string
+		mk   func() (*noc.Network, error)
+	}
+	builds := []build{
+		{"ring", func() (*noc.Network, error) {
+			r := topology.MustRing(n)
+			return noc.NewNetwork(r, routing.NewRingRouting(r), noc.DefaultConfig(), stats.NewCollector(0))
+		}},
+		{"spidergon", func() (*noc.Network, error) {
+			s := topology.MustSpidergon(n)
+			return noc.NewNetwork(s, routing.NewSpidergonRouting(s), noc.DefaultConfig(), stats.NewCollector(0))
+		}},
+		{"mesh", func() (*noc.Network, error) {
+			m := topology.MustMesh(3, 4)
+			return noc.NewNetwork(m, routing.NewMeshXY(m), noc.DefaultConfig(), stats.NewCollector(0))
+		}},
+	}
+	var latencies []float64
+	for _, b := range builds {
+		net, err := b.mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := sim.NewKernel()
+		tr.Replay(k, net)
+		tick := sim.NewTicker(k, 1)
+		tick.OnTick(func(uint64) { net.Step() })
+		tick.Start()
+		k.RunUntil(3000 + 3000)
+		if net.CreatedPackets() != uint64(len(tr.Events)) {
+			t.Fatalf("%s: created %d, trace %d", b.name, net.CreatedPackets(), len(tr.Events))
+		}
+		if net.EjectedPackets() != net.CreatedPackets() {
+			t.Fatalf("%s: delivered %d of %d", b.name, net.EjectedPackets(), net.CreatedPackets())
+		}
+		latencies = append(latencies, net.Collector().MeanLatency())
+	}
+	// Identical workload: ring latency >= spidergon latency (longer
+	// average paths at 12 nodes).
+	if latencies[0] < latencies[1] {
+		t.Fatalf("ring latency %v below spidergon %v on identical trace", latencies[0], latencies[1])
+	}
+}
+
+// The routing-layer path length (static analysis) agrees with the
+// network-layer hop measurement (dynamic) for every pair on every
+// studied topology.
+func TestStaticAndDynamicHopCountsAgree(t *testing.T) {
+	type inst struct {
+		top topology.Topology
+		alg routing.Algorithm
+	}
+	sg := topology.MustSpidergon(10)
+	m := topology.MustIrregularMesh(11)
+	insts := []inst{
+		{sg, routing.NewSpidergonRouting(sg)},
+		{m, routing.NewMeshXY(m)},
+	}
+	for _, in := range insts {
+		n := in.top.Nodes()
+		net, err := noc.NewNetwork(in.top, in.alg, noc.DefaultConfig(), stats.NewCollector(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairHops := make(map[[2]int]int)
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s == d {
+					continue
+				}
+				h, err := routing.HopCount(in.alg, in.top, s, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pairHops[[2]int{s, d}] = h
+				_ = net.Inject(s, d)
+			}
+		}
+		if err := net.Drain(500000); err != nil {
+			t.Fatal(err)
+		}
+		// Mean hops over all pairs must equal the static mean exactly.
+		sum := 0
+		for _, h := range pairHops {
+			sum += h
+		}
+		staticMean := float64(sum) / float64(len(pairHops))
+		if diff := math.Abs(net.Collector().MeanHops() - staticMean); diff > 1e-9 {
+			t.Fatalf("%s: dynamic mean hops %v != static %v",
+				in.top.Name(), net.Collector().MeanHops(), staticMean)
+		}
+	}
+}
+
+// The analytic uniform saturation bound is an upper bound on measured
+// per-node throughput for every topology, and measured saturation
+// reaches a reasonable fraction of it.
+func TestSaturationBoundsBracketMeasurement(t *testing.T) {
+	for _, kind := range []core.TopologyKind{core.Ring, core.Spidergon, core.Mesh} {
+		s := core.NewScenario(kind, 16, core.UniformTraffic, 0.2) // far beyond saturation
+		s.Warmup, s.Measure = 500, 6000
+		r, err := core.Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo, _, err := s.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := analysis.UniformSaturationBound(topo)
+		got := r.ThroughputPerNode
+		if got > bound*1.02 {
+			t.Fatalf("%s: measured per-node throughput %v exceeds analytic bound %v", kind, got, bound)
+		}
+		// Wormhole with the paper's shallow buffers reaches roughly a
+		// third to a half of the idealised channel-capacity bound.
+		if got < 0.3*bound {
+			t.Fatalf("%s: measured %v below 30%% of bound %v — simulator leaving capacity unused", kind, got, bound)
+		}
+	}
+}
+
+// Deterministic end-to-end: full scenario pipeline, twice, bit-equal
+// across every reported field that is derived from simulation.
+func TestEndToEndDeterminismFullPipeline(t *testing.T) {
+	mk := func() core.Result {
+		s := core.NewScenario(core.Spidergon, 16, core.HotSpotTraffic, 0.004)
+		s.HotSpots = []int{0, 8}
+		s.Warmup, s.Measure, s.Seed = 400, 5000, 31
+		r, err := core.Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := mk(), mk()
+	if a.Throughput != b.Throughput || a.MeanLatency != b.MeanLatency ||
+		a.LinkTraversals != b.LinkTraversals || a.EjectedPackets != b.EjectedPackets ||
+		a.P95Latency != b.P95Latency {
+		t.Fatalf("pipeline not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// Energy accounting consistency: the cost model applied to observed
+// traversal counts matches the per-packet estimate within the warm-up
+// skew (traversals include warm-up, packets don't).
+func TestEnergyAccountingConsistency(t *testing.T) {
+	s := core.NewScenario(core.Mesh, 16, core.UniformTraffic, 0.01)
+	s.Warmup, s.Measure = 0, 8000
+	r, err := core.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := analysis.DefaultCostModel()
+	// Aggregate from observed traversals + injected flits.
+	flitsInjected := uint64(r.Scenario.Config.PacketLen) * r.InjectedPackets
+	aggregate := cm.TrafficEnergy(r.LinkTraversals, flitsInjected)
+	// Per-packet estimate scaled up. In-flight packets at the horizon
+	// cause a small deficit; allow 10%.
+	if r.TotalEnergy > aggregate*1.1 || r.TotalEnergy < aggregate*0.7 {
+		t.Fatalf("energy estimates diverge: per-packet total %v vs aggregate %v", r.TotalEnergy, aggregate)
+	}
+}
+
+// A saturated hot-spot run respects global conservation all the way
+// through the experiment layer: injected >= ejected, and blocked-source
+// cycles appear once the offered load exceeds capacity.
+func TestSaturatedHotspotBookkeeping(t *testing.T) {
+	s := core.NewScenario(core.Ring, 8, core.HotSpotTraffic, 0)
+	s.HotSpots = []int{0}
+	s.Lambda = 3 * analysis.HotspotSaturationLambda(1, 1, 7, 6)
+	s.Warmup, s.Measure = 500, 6000
+	r, err := core.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EjectedPackets > r.InjectedPackets {
+		t.Fatal("ejected more than injected")
+	}
+	if r.SourceBlocked == 0 {
+		t.Fatal("no source blocking at 3x saturation")
+	}
+	if r.AcceptedFlitRate >= r.OfferedFlitRate {
+		t.Fatalf("accepted %v not below offered %v at 3x saturation",
+			r.AcceptedFlitRate, r.OfferedFlitRate)
+	}
+}

@@ -1,0 +1,208 @@
+// Package analysis provides the closed-form topology metrics from
+// Section 2 of the paper — network diameter ND and average network
+// distance E[D] for Ring, Spidergon and 2D Mesh — together with exact
+// variants and throughput saturation bounds.
+//
+// Conventions. The paper's E[D] expressions normalise the per-node path
+// length sum by N (the node count), not by the N-1 distinct
+// destinations: e.g. for the ring, the per-node sum is N²/4 and the
+// paper reports E[D] = N/4. Functions suffixed "Paper" reproduce that
+// convention so Figures 2–3 can be regenerated exactly; functions
+// suffixed "Exact" divide by N-1, matching the BFS ground truth in
+// package topology.
+//
+// Erratum. For Spidergon the paper prints E[D] = (2x²+4x+1)/N when N=4x
+// and (2x²+2x-1)/N when N=4x+2. Deriving the per-node path-length sum
+// under across-first routing (which package topology's BFS confirms)
+// gives the two expressions swapped: the sum is 2x²+2x-1 when N=4x and
+// 2x²+4x+1 when N=4x+2. This package implements the corrected
+// assignment; TestSpidergonFormulaMatchesBFS pins it to ground truth.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"gonoc/internal/topology"
+)
+
+// RingDiameter returns ND = floor(N/2) for an N-node ring.
+func RingDiameter(n int) int { return n / 2 }
+
+// RingAvgDistancePaper returns the paper's E[D] = N/4 for a ring.
+func RingAvgDistancePaper(n int) float64 { return float64(n) / 4 }
+
+// RingAvgDistanceExact returns the exact mean shortest-path length over
+// ordered pairs of distinct nodes of an N-node ring.
+func RingAvgDistanceExact(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	// Per-node distance sum: even N -> N²/4; odd N -> (N²-1)/4.
+	var sum float64
+	if n%2 == 0 {
+		sum = float64(n*n) / 4
+	} else {
+		sum = float64(n*n-1) / 4
+	}
+	return sum / float64(n-1)
+}
+
+// MeshDiameter returns ND = (m+n-2) for a full m×n mesh.
+func MeshDiameter(m, n int) int { return m + n - 2 }
+
+// MeshAvgDistancePaper returns the paper's E[D] = (m+n)/3 for an m×n mesh.
+func MeshAvgDistancePaper(m, n int) float64 { return float64(m+n) / 3 }
+
+// MeshAvgDistanceExact returns the exact mean Manhattan distance over
+// ordered pairs of distinct nodes of a full m×n mesh:
+// [N(m²-1)/(3m) + N(n²-1)/(3n)] · N/(N(N-1)) with N = m·n.
+func MeshAvgDistanceExact(m, n int) float64 {
+	N := m * n
+	if N < 2 {
+		return 0
+	}
+	// Mean |Δ| of two independent uniform draws from 0..k-1 is
+	// (k²-1)/(3k); distances add across dimensions. That mean includes
+	// the N² ordered pairs with repetition; rescale to exclude self
+	// pairs.
+	mean := float64(m*m-1)/(3*float64(m)) + float64(n*n-1)/(3*float64(n))
+	return mean * float64(N) / float64(N-1)
+}
+
+// SpidergonDiameter returns ND = ceiling(N/4) for an N-node Spidergon.
+// N must be even; the function panics otherwise, because the topology
+// does not exist for odd N.
+func SpidergonDiameter(n int) int {
+	mustEven(n)
+	return (n + 3) / 4
+}
+
+// SpidergonPathSum returns the exact sum of across-first path lengths
+// from one (any, by vertex symmetry) node to all others: 2x²+2x-1 for
+// N=4x and 2x²+4x+1 for N=4x+2 (the corrected assignment; see the
+// package erratum note).
+func SpidergonPathSum(n int) int {
+	mustEven(n)
+	x := n / 4
+	if n%4 == 0 {
+		return 2*x*x + 2*x - 1
+	}
+	return 2*x*x + 4*x + 1
+}
+
+// SpidergonAvgDistancePaper returns E[D] = SpidergonPathSum(N)/N, the
+// paper's normalisation.
+func SpidergonAvgDistancePaper(n int) float64 {
+	return float64(SpidergonPathSum(n)) / float64(n)
+}
+
+// SpidergonAvgDistanceExact returns the exact mean over ordered pairs of
+// distinct nodes.
+func SpidergonAvgDistanceExact(n int) float64 {
+	return float64(SpidergonPathSum(n)) / float64(n-1)
+}
+
+func mustEven(n int) {
+	if n < 4 || n%2 != 0 {
+		panic(fmt.Sprintf("analysis: spidergon metrics need even n >= 4, got %d", n))
+	}
+}
+
+// IdealMeshDims returns the dimensions of the ideal (√N×√N) mesh the
+// paper uses as the best-case mesh: the most balanced factor pair when N
+// factorises, otherwise the ceiling square (whose node count exceeds N —
+// exactly the idealisation the paper contrasts with real meshes).
+func IdealMeshDims(n int) (cols, rows int) {
+	r := int(math.Sqrt(float64(n)))
+	if r*r == n {
+		return r, r
+	}
+	best := 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			best = d
+		}
+	}
+	return best, n / best
+}
+
+// IdealSquareDiameter returns 2(√N - 1) treating N as a perfect square
+// (fractional for other N) — the "ideal mesh" curve of Figure 2.
+func IdealSquareDiameter(n int) float64 {
+	return 2 * (math.Sqrt(float64(n)) - 1)
+}
+
+// IdealSquareAvgDistance returns the paper-convention mesh E[D] of the
+// ideal square, 2√N/3.
+func IdealSquareAvgDistance(n int) float64 {
+	return 2 * math.Sqrt(float64(n)) / 3
+}
+
+// LinkCountRing returns 2N, the paper's unidirectional link count.
+func LinkCountRing(n int) int { return 2 * n }
+
+// LinkCountSpidergon returns 3N.
+func LinkCountSpidergon(n int) int { return 3 * n }
+
+// LinkCountMesh returns 2(m-1)n + 2(n-1)m.
+func LinkCountMesh(m, n int) int { return 2*(m-1)*n + 2*(n-1)*m }
+
+// HotspotSaturationThroughput returns the aggregate flit throughput
+// ceiling of a hot-spot scenario with k hot-spot destinations each
+// consuming at most consumeRate flits/cycle: the bottleneck the paper
+// identifies in Figures 6–9 — the destination node, not the NoC.
+func HotspotSaturationThroughput(k int, consumeRate float64) float64 {
+	return float64(k) * consumeRate
+}
+
+// HotspotSaturationLambda returns the per-source packet injection rate λ
+// (packets/cycle) at which s sources sending packetLen-flit packets
+// saturate k hot-spot sinks: λ_sat = k·consumeRate / (s·packetLen).
+func HotspotSaturationLambda(k int, consumeRate float64, sources, packetLen int) float64 {
+	if sources <= 0 || packetLen <= 0 {
+		return math.Inf(1)
+	}
+	return float64(k) * consumeRate / float64(sources*packetLen)
+}
+
+// BisectionBound returns the uniform-traffic per-node injection ceiling
+// (flits/cycle/node) implied by the bisection cut: with uniform random
+// destinations half the traffic crosses the bisection, so
+// N/2 · injection ≤ B_c and injection ≤ 2·B_c/N, where B_c counts
+// unidirectional channels across the cut.
+func BisectionBound(t topology.Topology) float64 {
+	n := t.Nodes()
+	if n == 0 {
+		return 0
+	}
+	return 2 * float64(topology.BisectionChannels(t)) / float64(n)
+}
+
+// ChannelLoadBound returns the uniform-traffic per-node injection
+// ceiling implied by aggregate channel capacity: every flit consumes
+// E[D] channel-cycles, so N · injection · E[D] ≤ C and injection ≤
+// C/(N·E[D]), with C the total channel count.
+func ChannelLoadBound(t topology.Topology) float64 {
+	n := t.Nodes()
+	if n < 2 {
+		return 0
+	}
+	ed := topology.AverageDistance(t)
+	if ed <= 0 {
+		return math.Inf(1)
+	}
+	return float64(topology.LinkCount(t)) / (float64(n) * ed)
+}
+
+// UniformSaturationBound returns the tighter of the bisection and
+// channel-load ceilings — the analytic saturation estimate for the
+// homogeneous scenario of Figures 10–11.
+func UniformSaturationBound(t topology.Topology) float64 {
+	b := BisectionBound(t)
+	c := ChannelLoadBound(t)
+	if b < c {
+		return b
+	}
+	return c
+}

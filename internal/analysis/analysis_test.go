@@ -1,0 +1,259 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gonoc/internal/topology"
+)
+
+func TestRingDiameterMatchesBFS(t *testing.T) {
+	for n := 3; n <= 40; n++ {
+		r := topology.MustRing(n)
+		if got, want := RingDiameter(n), topology.Diameter(r); got != want {
+			t.Fatalf("ring-%d: formula %d, BFS %d", n, got, want)
+		}
+	}
+}
+
+func TestRingAvgDistanceExactMatchesBFS(t *testing.T) {
+	for n := 3; n <= 40; n++ {
+		r := topology.MustRing(n)
+		got := RingAvgDistanceExact(n)
+		want := topology.AverageDistance(r)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("ring-%d: exact formula %v, BFS %v", n, got, want)
+		}
+	}
+}
+
+func TestRingAvgDistancePaperApproximation(t *testing.T) {
+	// The paper's N/4 equals the per-node sum divided by N; it should
+	// track the exact value within one hop for the sizes studied.
+	for n := 4; n <= 64; n += 2 {
+		paper := RingAvgDistancePaper(n)
+		exact := RingAvgDistanceExact(n)
+		if math.Abs(paper-exact) > 1 {
+			t.Fatalf("ring-%d: paper %v too far from exact %v", n, paper, exact)
+		}
+	}
+}
+
+func TestMeshDiameterMatchesBFS(t *testing.T) {
+	for _, d := range []struct{ m, n int }{{2, 4}, {4, 6}, {3, 3}, {5, 5}, {1, 9}, {7, 2}} {
+		mesh := topology.MustMesh(d.m, d.n)
+		if got, want := MeshDiameter(d.m, d.n), topology.Diameter(mesh); got != want {
+			t.Fatalf("mesh %dx%d: formula %d, BFS %d", d.m, d.n, got, want)
+		}
+	}
+}
+
+func TestMeshAvgDistanceExactMatchesBFS(t *testing.T) {
+	for _, d := range []struct{ m, n int }{{2, 4}, {4, 6}, {3, 3}, {5, 5}, {2, 2}, {1, 8}} {
+		mesh := topology.MustMesh(d.m, d.n)
+		got := MeshAvgDistanceExact(d.m, d.n)
+		want := topology.AverageDistance(mesh)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("mesh %dx%d: exact formula %v, BFS %v", d.m, d.n, got, want)
+		}
+	}
+}
+
+func TestSpidergonDiameterMatchesBFS(t *testing.T) {
+	for n := 4; n <= 64; n += 2 {
+		s := topology.MustSpidergon(n)
+		if got, want := SpidergonDiameter(n), topology.Diameter(s); got != want {
+			t.Fatalf("spidergon-%d: formula %d, BFS %d", n, got, want)
+		}
+	}
+}
+
+// Pins the corrected Spidergon E[D] assignment (see package erratum) to
+// BFS ground truth for every even size up to 64.
+func TestSpidergonFormulaMatchesBFS(t *testing.T) {
+	for n := 8; n <= 64; n += 2 {
+		s := topology.MustSpidergon(n)
+		got := SpidergonAvgDistanceExact(n)
+		want := topology.AverageDistance(s)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("spidergon-%d: exact formula %v, BFS %v", n, got, want)
+		}
+	}
+}
+
+func TestSpidergonPathSumSmall(t *testing.T) {
+	// Hand-checked: spidergon-8 per-node distances 1,2,2,1,2,2,1 sum 11.
+	if got := SpidergonPathSum(8); got != 11 {
+		t.Fatalf("path sum(8) = %d, want 11", got)
+	}
+	// spidergon-6 (x=1, N=4x+2): distances from 0: 1,2,1,1,... n=6:
+	// across(0)=3; d(0,1)=1 d(0,2)=2 d(0,3)=1 d(0,4)=2 d(0,5)=1, sum 7
+	// = 2+4+1.
+	if got := SpidergonPathSum(6); got != 7 {
+		t.Fatalf("path sum(6) = %d, want 7", got)
+	}
+}
+
+func TestSpidergonOddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd spidergon did not panic")
+		}
+	}()
+	SpidergonDiameter(9)
+}
+
+func TestPaperOrderingFig2(t *testing.T) {
+	// Figure 2's qualitative claims: Spidergon ND below real meshes at
+	// least up to 40-45 nodes; ring worst (largest) among the three for
+	// moderate N.
+	for n := 8; n <= 40; n += 2 {
+		sd := SpidergonDiameter(n)
+		rd := RingDiameter(n)
+		real := topology.Diameter(topology.MustIrregularMesh(n))
+		if sd > real {
+			t.Fatalf("n=%d: spidergon ND %d above real mesh %d", n, sd, real)
+		}
+		if n >= 10 && sd >= rd {
+			t.Fatalf("n=%d: spidergon ND %d not below ring %d", n, sd, rd)
+		}
+	}
+}
+
+func TestPaperOrderingFig3(t *testing.T) {
+	// Figure 3: Spidergon outperforms Ring on E[D]; spidergon sits near
+	// the real-mesh band.
+	for n := 10; n <= 64; n += 2 {
+		se := SpidergonAvgDistanceExact(n)
+		re := RingAvgDistanceExact(n)
+		if se >= re {
+			t.Fatalf("n=%d: spidergon E[D] %v not below ring %v", n, se, re)
+		}
+	}
+}
+
+func TestIdealMeshDims(t *testing.T) {
+	for _, tc := range []struct{ n, c, r int }{
+		{16, 4, 4}, {24, 4, 6}, {8, 2, 4}, {36, 6, 6}, {12, 3, 4},
+	} {
+		c, r := IdealMeshDims(tc.n)
+		if c != tc.c || r != tc.r {
+			t.Fatalf("IdealMeshDims(%d) = %dx%d, want %dx%d", tc.n, c, r, tc.c, tc.r)
+		}
+		if c*r != tc.n {
+			t.Fatalf("dims don't cover n")
+		}
+	}
+}
+
+func TestIdealSquareCurves(t *testing.T) {
+	if got := IdealSquareDiameter(16); got != 6 {
+		t.Fatalf("ideal diameter(16) = %v", got)
+	}
+	if math.Abs(IdealSquareAvgDistance(16)-8.0/3.0) > 1e-12 {
+		t.Fatalf("ideal E[D](16) = %v", IdealSquareAvgDistance(16))
+	}
+}
+
+func TestLinkCountFormulasMatchTopology(t *testing.T) {
+	for n := 4; n <= 32; n += 2 {
+		if LinkCountRing(n) != topology.LinkCount(topology.MustRing(n)) {
+			t.Fatalf("ring link count n=%d", n)
+		}
+		if LinkCountSpidergon(n) != topology.LinkCount(topology.MustSpidergon(n)) {
+			t.Fatalf("spidergon link count n=%d", n)
+		}
+	}
+	if LinkCountMesh(4, 6) != topology.LinkCount(topology.MustMesh(4, 6)) {
+		t.Fatal("mesh link count 4x6")
+	}
+}
+
+func TestHotspotSaturation(t *testing.T) {
+	if got := HotspotSaturationThroughput(1, 1); got != 1 {
+		t.Fatalf("single hotspot ceiling = %v", got)
+	}
+	if got := HotspotSaturationThroughput(2, 1); got != 2 {
+		t.Fatalf("double hotspot ceiling = %v", got)
+	}
+	// 7 sources, 6-flit packets, one sink at 1 flit/cycle:
+	// λ_sat = 1/42 packets/cycle/source.
+	got := HotspotSaturationLambda(1, 1, 7, 6)
+	if math.Abs(got-1.0/42.0) > 1e-12 {
+		t.Fatalf("λ_sat = %v", got)
+	}
+	if !math.IsInf(HotspotSaturationLambda(1, 1, 0, 6), 1) {
+		t.Fatal("zero sources should give +Inf")
+	}
+}
+
+func TestBisectionBoundOrdering(t *testing.T) {
+	// Spidergon's across links raise its bisection bound above the
+	// ring's for equal N — one structural reason it outperforms the ring
+	// in Figure 10.
+	for _, n := range []int{8, 16, 24, 32} {
+		r := BisectionBound(topology.MustRing(n))
+		s := BisectionBound(topology.MustSpidergon(n))
+		if s <= r {
+			t.Fatalf("n=%d: spidergon bisection bound %v not above ring %v", n, s, r)
+		}
+	}
+}
+
+func TestChannelLoadBound(t *testing.T) {
+	// Ring-8: 16 channels, E[D]_exact = (8*8/4)/7 = 16/7.
+	// Bound = 16/(8 * 16/7) = 7/8.
+	got := ChannelLoadBound(topology.MustRing(8))
+	if math.Abs(got-7.0/8.0) > 1e-9 {
+		t.Fatalf("ring-8 channel bound = %v, want 0.875", got)
+	}
+}
+
+func TestUniformSaturationBoundIsMin(t *testing.T) {
+	for _, top := range []topology.Topology{
+		topology.MustRing(16), topology.MustSpidergon(16), topology.MustMesh(4, 4),
+	} {
+		u := UniformSaturationBound(top)
+		b := BisectionBound(top)
+		c := ChannelLoadBound(top)
+		if u != math.Min(b, c) {
+			t.Fatalf("%s: uniform bound %v != min(%v,%v)", top.Name(), u, b, c)
+		}
+	}
+}
+
+// Property: paper-convention E[D] formulas stay within 15% of exact BFS
+// for every topology and size in the studied range — close enough that
+// Figures 2-3 shapes are preserved.
+func TestPropertyPaperFormulasTrackExact(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := 8 + 2*(int(raw)%29) // even 8..64
+		pairs := []struct{ paper, exact float64 }{
+			{RingAvgDistancePaper(n), RingAvgDistanceExact(n)},
+			{SpidergonAvgDistancePaper(n), SpidergonAvgDistanceExact(n)},
+		}
+		for _, p := range pairs {
+			if math.Abs(p.paper-p.exact)/p.exact > 0.15 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: diameters are monotone non-decreasing in N within each
+// family (sampled pairwise).
+func TestPropertyDiameterMonotone(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := 8 + 2*(int(raw)%28)
+		return SpidergonDiameter(n+2) >= SpidergonDiameter(n) &&
+			RingDiameter(n+2) >= RingDiameter(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"fmt"
+
+	"gonoc/internal/topology"
+)
+
+// The paper motivates Spidergon by "simple management, small energy and
+// area requirements for SoCs" and argues node degree drives router
+// complexity. This file makes those cost axes quantitative with a
+// first-order model: energy proportional to flit movement events, area
+// proportional to wiring and buffering. Units are normalised to one
+// link traversal by one flit; calibrate against a technology library by
+// scaling.
+
+// CostModel carries the per-event energy weights and per-element area
+// weights.
+type CostModel struct {
+	// LinkFlit is the energy of one flit traversing one inter-router
+	// link.
+	LinkFlit float64
+	// RouterFlit is the energy of one flit passing one router (buffer
+	// write + read + switch traversal + arbitration amortised).
+	RouterFlit float64
+	// BufferFlitArea is the area of one flit of buffer storage.
+	BufferFlitArea float64
+	// LinkArea is the area (wiring) of one unidirectional channel.
+	LinkArea float64
+	// RouterBaseArea is the fixed per-router overhead; PortArea is the
+	// marginal area per physical port (degree term — the paper's
+	// "high node degree ... increases complexity").
+	RouterBaseArea float64
+	PortArea       float64
+}
+
+// DefaultCostModel returns weights in the ratio typical of early-2000s
+// 0.13-0.18 µm NoC energy models (router pass costs roughly 1.5× a
+// link traversal; buffers dominate router area).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		LinkFlit:       1.0,
+		RouterFlit:     1.5,
+		BufferFlitArea: 1.0,
+		LinkArea:       0.5,
+		RouterBaseArea: 2.0,
+		PortArea:       1.0,
+	}
+}
+
+// Validate reports the first non-physical weight.
+func (c CostModel) Validate() error {
+	if c.LinkFlit < 0 || c.RouterFlit < 0 || c.BufferFlitArea < 0 ||
+		c.LinkArea < 0 || c.RouterBaseArea < 0 || c.PortArea < 0 {
+		return fmt.Errorf("analysis: negative cost weight in %+v", c)
+	}
+	return nil
+}
+
+// PacketEnergy returns the energy to deliver one packet of the given
+// flit count over the given hop count: every flit crosses hops links
+// and hops+1 routers (source injection and destination ejection pass
+// through a router datapath each).
+func (c CostModel) PacketEnergy(hops, flits int) float64 {
+	return float64(flits) * (float64(hops)*c.LinkFlit + float64(hops+1)*c.RouterFlit)
+}
+
+// MeanPacketEnergy is PacketEnergy at a fractional (average) hop count.
+func (c CostModel) MeanPacketEnergy(meanHops float64, flits int) float64 {
+	return float64(flits) * (meanHops*c.LinkFlit + (meanHops+1)*c.RouterFlit)
+}
+
+// TrafficEnergy returns the total energy of a run given the observed
+// total link traversals (flit·hops) and total injected flits.
+func (c CostModel) TrafficEnergy(linkTraversals, injectedFlits uint64) float64 {
+	return float64(linkTraversals)*(c.LinkFlit+c.RouterFlit) + float64(injectedFlits)*c.RouterFlit
+}
+
+// NetworkArea estimates the silicon area of a NoC instance: wiring per
+// channel, buffer storage per channel (vcs output queues of outCap
+// flits at the transmitter plus vcs input slots of inCap flits at the
+// receiver), and per-router base + per-port overhead.
+func (c CostModel) NetworkArea(t topology.Topology, vcs, outCap, inCap int) float64 {
+	channels := float64(topology.LinkCount(t))
+	buffers := channels * float64(vcs) * float64(outCap+inCap) * c.BufferFlitArea
+	wiring := channels * c.LinkArea
+	routers := 0.0
+	for v := 0; v < t.Nodes(); v++ {
+		routers += c.RouterBaseArea + float64(topology.Degree(t, v))*c.PortArea
+	}
+	return buffers + wiring + routers
+}
+
+// EnergyPerUniformPacket returns the mean delivery energy of one packet
+// under uniform traffic on t: MeanPacketEnergy at the topology's exact
+// average distance.
+func (c CostModel) EnergyPerUniformPacket(t topology.Topology, flits int) float64 {
+	return c.MeanPacketEnergy(topology.AverageDistance(t), flits)
+}
+
+// CostSummary bundles the paper's three comparison axes for one
+// topology instance under one buffer geometry.
+type CostSummary struct {
+	Name string
+	// Area is NetworkArea.
+	Area float64
+	// EnergyPerPacket is EnergyPerUniformPacket for 6-flit packets.
+	EnergyPerPacket float64
+	// MaxDegree drives router complexity.
+	MaxDegree int
+}
+
+// CompareCosts evaluates the model across topology instances with the
+// given VC count per instance (parallel slices).
+func CompareCosts(c CostModel, tops []topology.Topology, vcs []int, outCap, inCap, flits int) ([]CostSummary, error) {
+	if len(tops) != len(vcs) {
+		return nil, fmt.Errorf("analysis: %d topologies vs %d vc counts", len(tops), len(vcs))
+	}
+	out := make([]CostSummary, len(tops))
+	for i, t := range tops {
+		out[i] = CostSummary{
+			Name:            t.Name(),
+			Area:            c.NetworkArea(t, vcs[i], outCap, inCap),
+			EnergyPerPacket: c.EnergyPerUniformPacket(t, flits),
+			MaxDegree:       topology.MaxDegree(t),
+		}
+	}
+	return out, nil
+}

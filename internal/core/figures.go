@@ -1,0 +1,391 @@
+package core
+
+import (
+	"fmt"
+
+	"gonoc/internal/analysis"
+	"gonoc/internal/noc"
+	"gonoc/internal/stats"
+	"gonoc/internal/topology"
+)
+
+// FigureOpts parameterises the figure regenerators. Zero-value fields
+// fall back to the defaults of DefaultFigureOpts, which match the
+// paper's ranges (8–32 nodes, loads from well below to well past
+// saturation).
+type FigureOpts struct {
+	// Sizes lists the node counts N simulated for Figures 5-11.
+	Sizes []int
+	// LoadFractions, for the hot-spot figures, are multiples of the
+	// analytic saturation rate λ_sat = k·sink/(sources·flits) at which
+	// each curve is sampled.
+	LoadFractions []float64
+	// UniformFlitRates, for the homogeneous figures, are per-source
+	// injection rates in flits/cycle (the paper's x axis) sampled
+	// identically for every topology.
+	UniformFlitRates []float64
+	// Warmup and Measure are the per-run cycle counts.
+	Warmup, Measure uint64
+	// Seed derives all run seeds.
+	Seed uint64
+}
+
+// DefaultFigureOpts returns the ranges used by cmd/nocfigs: the paper's
+// node counts and a load grid spanning 0.2×–1.6× saturation.
+func DefaultFigureOpts() FigureOpts {
+	return FigureOpts{
+		Sizes:            []int{8, 16, 24, 32},
+		LoadFractions:    []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.6},
+		UniformFlitRates: []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5},
+		Warmup:           2000,
+		Measure:          20000,
+		Seed:             1,
+	}
+}
+
+func (o FigureOpts) withDefaults() FigureOpts {
+	d := DefaultFigureOpts()
+	if len(o.Sizes) == 0 {
+		o.Sizes = d.Sizes
+	}
+	if len(o.LoadFractions) == 0 {
+		o.LoadFractions = d.LoadFractions
+	}
+	if len(o.UniformFlitRates) == 0 {
+		o.UniformFlitRates = d.UniformFlitRates
+	}
+	if o.Warmup == 0 {
+		o.Warmup = d.Warmup
+	}
+	if o.Measure == 0 {
+		o.Measure = d.Measure
+	}
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	return o
+}
+
+// Fig2Diameter regenerates Figure 2: network diameter ND versus node
+// count for Ring, Spidergon, the ideal √N×√N mesh, and the two "real
+// mesh" constructions (balanced factorisation and irregular mesh).
+func Fig2Diameter(minN, maxN int) *Table {
+	t := &Table{Title: "Figure 2: network diameter ND vs number of nodes N", XName: "N"}
+	ring := &stats.Series{Name: "ring"}
+	sg := &stats.Series{Name: "spidergon"}
+	ideal := &stats.Series{Name: "ideal-mesh"}
+	fmesh := &stats.Series{Name: "real-mesh-factor"}
+	imesh := &stats.Series{Name: "real-mesh-irregular"}
+	for n := minN; n <= maxN; n++ {
+		x := float64(n)
+		if n >= 3 {
+			ring.Append(x, float64(analysis.RingDiameter(n)))
+		}
+		if n >= 4 && n%2 == 0 {
+			sg.Append(x, float64(analysis.SpidergonDiameter(n)))
+		}
+		ideal.Append(x, analysis.IdealSquareDiameter(n))
+		if n >= 2 {
+			fmesh.Append(x, float64(topology.Diameter(topology.MustFactorMesh(n))))
+			imesh.Append(x, float64(topology.Diameter(topology.MustIrregularMesh(n))))
+		}
+	}
+	t.Add(ring)
+	t.Add(ideal)
+	t.Add(fmesh)
+	t.Add(imesh)
+	t.Add(sg)
+	return t
+}
+
+// Fig3AvgDistance regenerates Figure 3: average network distance E[D]
+// versus node count for the same five topology families. Exact
+// (ordered-pair) averages are used throughout; the paper's
+// N-denominator convention differs by the factor (N-1)/N.
+func Fig3AvgDistance(minN, maxN int) *Table {
+	t := &Table{Title: "Figure 3: average network distance E[D] vs number of nodes N", XName: "N"}
+	ring := &stats.Series{Name: "ring"}
+	sg := &stats.Series{Name: "spidergon"}
+	ideal := &stats.Series{Name: "ideal-mesh"}
+	fmesh := &stats.Series{Name: "real-mesh-factor"}
+	imesh := &stats.Series{Name: "real-mesh-irregular"}
+	for n := minN; n <= maxN; n++ {
+		x := float64(n)
+		if n >= 3 {
+			ring.Append(x, analysis.RingAvgDistanceExact(n))
+		}
+		if n >= 8 && n%2 == 0 {
+			sg.Append(x, analysis.SpidergonAvgDistanceExact(n))
+		}
+		ideal.Append(x, analysis.IdealSquareAvgDistance(n))
+		if n >= 2 {
+			fmesh.Append(x, topology.AverageDistance(topology.MustFactorMesh(n)))
+			imesh.Append(x, topology.AverageDistance(topology.MustIrregularMesh(n)))
+		}
+	}
+	t.Add(ring)
+	t.Add(ideal)
+	t.Add(fmesh)
+	t.Add(imesh)
+	t.Add(sg)
+	return t
+}
+
+// topoSet is the trio the paper simulates.
+var topoSet = []TopologyKind{Ring, Spidergon, Mesh}
+
+// evenSize rounds n up to even (spidergon requires it) so one size list
+// serves all topologies.
+func evenSize(n int) int {
+	if n%2 == 1 {
+		return n + 1
+	}
+	return n
+}
+
+// Fig5Validation regenerates Figure 5: the analytically estimated
+// average distance against the simulation-measured mean hop count,
+// under light uniform traffic, for each topology and size.
+func Fig5Validation(o FigureOpts) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{Title: "Figure 5: analytical and simulation-based average network distances (hops)", XName: "N"}
+	series := map[string]*stats.Series{}
+	for _, kind := range topoSet {
+		series["analytic-"+string(kind)] = &stats.Series{Name: "analytic-" + string(kind)}
+		series["sim-"+string(kind)] = &stats.Series{Name: "sim-" + string(kind)}
+	}
+	var scenarios []Scenario
+	var meta []struct {
+		kind TopologyKind
+		n    int
+	}
+	for _, rawN := range o.Sizes {
+		n := evenSize(rawN)
+		for _, kind := range topoSet {
+			s := NewScenario(kind, n, UniformTraffic, 0.01)
+			s.Warmup, s.Measure, s.Seed = o.Warmup, o.Measure, o.Seed
+			scenarios = append(scenarios, s)
+			meta = append(meta, struct {
+				kind TopologyKind
+				n    int
+			}{kind, n})
+		}
+	}
+	results, err := SweepScenarios(scenarios)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		kind, n := meta[i].kind, meta[i].n
+		series["sim-"+string(kind)].Append(float64(n), r.MeanHops)
+		var an float64
+		switch kind {
+		case Ring:
+			an = analysis.RingAvgDistanceExact(n)
+		case Spidergon:
+			an = analysis.SpidergonAvgDistanceExact(n)
+		case Mesh:
+			cols, rows := analysis.IdealMeshDims(n)
+			an = analysis.MeshAvgDistanceExact(cols, rows)
+		}
+		series["analytic-"+string(kind)].Append(float64(n), an)
+	}
+	for _, kind := range topoSet {
+		t.Add(series["analytic-"+string(kind)])
+	}
+	for _, kind := range topoSet {
+		t.Add(series["sim-"+string(kind)])
+	}
+	return t, nil
+}
+
+// hotspotScenarios builds the load sweep for one topology/size/target
+// set; x values are per-source offered flit rates.
+func hotspotScenarios(kind TopologyKind, n int, targets []int, o FigureOpts) ([]Scenario, []float64) {
+	var scenarios []Scenario
+	var xs []float64
+	sources := n - len(targets)
+	packetLen := noc.DefaultConfig().PacketLen
+	lamSat := analysis.HotspotSaturationLambda(len(targets), 1, sources, packetLen)
+	for _, f := range o.LoadFractions {
+		lambda := f * lamSat
+		s := NewScenario(kind, n, HotSpotTraffic, lambda)
+		s.HotSpots = targets
+		s.Warmup, s.Measure, s.Seed = o.Warmup, o.Measure, o.Seed
+		scenarios = append(scenarios, s)
+		xs = append(xs, lambda*float64(s.Config.PacketLen))
+	}
+	return scenarios, xs
+}
+
+// Fig6HotspotThroughput regenerates Figure 6: aggregate NoC throughput
+// versus injection rate with a single hot-spot destination. Mesh curves
+// come in corner- and center-target variants, since the paper samples
+// "different points on the Mesh topology".
+func Fig6HotspotThroughput(o FigureOpts) (*Table, error) {
+	return hotspotFigure(o, 1, "Figure 6: NoC throughput, one hot-spot destination node", false)
+}
+
+// Fig7HotspotLatency regenerates Figure 7: mean packet latency under a
+// single hot-spot destination.
+func Fig7HotspotLatency(o FigureOpts) (*Table, error) {
+	return hotspotFigure(o, 1, "Figure 7: NoC latency, one hot-spot destination node", true)
+}
+
+// Fig8DoubleHotspotThroughput regenerates Figure 8: throughput with two
+// hot-spot destinations across the paper's placements.
+func Fig8DoubleHotspotThroughput(o FigureOpts) (*Table, error) {
+	return hotspotFigure(o, 2, "Figure 8: NoC throughput, two hot-spot destination nodes", false)
+}
+
+// Fig9DoubleHotspotLatency regenerates Figure 9: latency with two
+// hot-spot destinations.
+func Fig9DoubleHotspotLatency(o FigureOpts) (*Table, error) {
+	return hotspotFigure(o, 2, "Figure 9: NoC latency, two hot-spot destination nodes", true)
+}
+
+// hotspotFigure runs the single- or double-hot-spot grid and returns
+// throughput or latency curves.
+func hotspotFigure(o FigureOpts, k int, title string, latency bool) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{Title: title, XName: "injection rate (flits/cycle/source)"}
+	type curve struct {
+		name      string
+		scenarios []Scenario
+		xs        []float64
+	}
+	var curves []curve
+	for _, rawN := range o.Sizes {
+		n := evenSize(rawN)
+		for _, kind := range topoSet {
+			variants := hotspotVariants(kind, n, k)
+			for _, v := range variants {
+				sc, xs := hotspotScenarios(kind, n, v.targets, o)
+				curves = append(curves, curve{
+					name:      fmt.Sprintf("%s-%d%s", kind, n, v.suffix),
+					scenarios: sc,
+					xs:        xs,
+				})
+			}
+		}
+	}
+	var all []Scenario
+	for _, c := range curves {
+		all = append(all, c.scenarios...)
+	}
+	results, err := SweepScenarios(all)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, c := range curves {
+		s := &stats.Series{Name: c.name}
+		for i := range c.scenarios {
+			r := results[idx]
+			idx++
+			y := r.Throughput
+			if latency {
+				y = r.MeanLatency
+			}
+			s.Append(c.xs[i], y)
+		}
+		t.Add(s)
+	}
+	return t, nil
+}
+
+// hotspotVariant names one target placement for a topology.
+type hotspotVariant struct {
+	suffix  string
+	targets []int
+}
+
+// hotspotVariants enumerates the paper's placements: for k=1, ring and
+// spidergon use node 0 (symmetric), the mesh is sampled at corner and
+// center; for k=2 the §3.1.2 scenarios A/B (and C on meshes).
+func hotspotVariants(kind TopologyKind, n, k int) []hotspotVariant {
+	if k == 1 {
+		if kind == Mesh || kind == FactorMesh || kind == IrregularMesh || kind == Torus {
+			return []hotspotVariant{
+				{suffix: "-corner", targets: []int{SingleHotspot(kind, n, false, 0, 0)}},
+				{suffix: "-center", targets: []int{SingleHotspot(kind, n, true, 0, 0)}},
+			}
+		}
+		return []hotspotVariant{{suffix: "", targets: []int{0}}}
+	}
+	placements := []Placement{PlacementA, PlacementB}
+	if kind == Mesh || kind == FactorMesh || kind == IrregularMesh || kind == Torus {
+		placements = append(placements, PlacementC)
+	}
+	var out []hotspotVariant
+	for _, p := range placements {
+		targets, err := DoubleHotspots(kind, n, p, 0, 0)
+		if err != nil {
+			continue
+		}
+		out = append(out, hotspotVariant{suffix: fmt.Sprintf("-%c", p), targets: targets})
+	}
+	return out
+}
+
+// Fig10UniformThroughput regenerates Figure 10: aggregate throughput
+// under the homogeneous uniform scenario, sampled at identical
+// injection rates for every topology.
+func Fig10UniformThroughput(o FigureOpts) (*Table, error) {
+	return uniformFigure(o, "Figure 10: NoC throughput, homogeneous sources and destinations", false)
+}
+
+// Fig11UniformLatency regenerates Figure 11: mean latency under the
+// homogeneous uniform scenario.
+func Fig11UniformLatency(o FigureOpts) (*Table, error) {
+	return uniformFigure(o, "Figure 11: NoC latency, homogeneous sources and destinations", true)
+}
+
+func uniformFigure(o FigureOpts, title string, latency bool) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{Title: title, XName: "injection rate (flits/cycle/source)"}
+	type curve struct {
+		name      string
+		scenarios []Scenario
+		xs        []float64
+	}
+	var curves []curve
+	for _, rawN := range o.Sizes {
+		n := evenSize(rawN)
+		for _, kind := range topoSet {
+			var sc []Scenario
+			var xs []float64
+			for _, flitRate := range o.UniformFlitRates {
+				s := NewScenario(kind, n, UniformTraffic, 0)
+				s.Lambda = flitRate / float64(s.Config.PacketLen)
+				s.Warmup, s.Measure, s.Seed = o.Warmup, o.Measure, o.Seed
+				sc = append(sc, s)
+				xs = append(xs, flitRate)
+			}
+			curves = append(curves, curve{name: fmt.Sprintf("%s-%d", kind, n), scenarios: sc, xs: xs})
+		}
+	}
+	var all []Scenario
+	for _, c := range curves {
+		all = append(all, c.scenarios...)
+	}
+	results, err := SweepScenarios(all)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, c := range curves {
+		s := &stats.Series{Name: c.name}
+		for i := range c.scenarios {
+			r := results[idx]
+			idx++
+			y := r.Throughput
+			if latency {
+				y = r.MeanLatency
+			}
+			s.Append(c.xs[i], y)
+		}
+		t.Add(s)
+	}
+	return t, nil
+}

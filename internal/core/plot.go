@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders the table as an ASCII scatter chart — a terminal stand-in
+// for the paper's figures. Each series is drawn with its own glyph;
+// overlapping points show the glyph of the last series drawn (the
+// legend lists them in draw order). Width and height are the plot-area
+// dimensions in characters.
+func (t *Table) Plot(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 8 {
+		height = 8
+	}
+	glyphs := []byte("ox+*#@%&$~^=")
+
+	// Data bounds over all series.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range t.Series {
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) {
+				continue
+			}
+			points++
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return t.Title + "\n(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range t.Series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) {
+				continue
+			}
+			cx := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			cy := int(math.Round((s.Y[i] - minY) / (maxY - minY) * float64(height-1)))
+			grid[height-1-cy][cx] = g
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	yLabelW := 10
+	for r := 0; r < height; r++ {
+		// Label the top, middle and bottom rows with y values.
+		label := strings.Repeat(" ", yLabelW)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*.4g", yLabelW, maxY)
+		case height / 2:
+			label = fmt.Sprintf("%*.4g", yLabelW, (minY+maxY)/2)
+		case height - 1:
+			label = fmt.Sprintf("%*.4g", yLabelW, minY)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", yLabelW), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*.4g%*.4g\n", strings.Repeat(" ", yLabelW), width/2, minX, width-width/2, maxX)
+	fmt.Fprintf(&b, "%s  x: %s\n", strings.Repeat(" ", yLabelW), t.XName)
+	for si, s := range t.Series {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", yLabelW), glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}

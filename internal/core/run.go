@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"gonoc/internal/analysis"
+	"gonoc/internal/noc"
+	"gonoc/internal/sim"
+	"gonoc/internal/stats"
+	"gonoc/internal/traffic"
+)
+
+// Result carries the measured performance indexes of one scenario run —
+// the quantities plotted in the paper's Figures 5 through 11.
+type Result struct {
+	// Scenario is the configuration that produced this result.
+	Scenario Scenario
+	// TopologyName is the concrete instance, e.g. "mesh-4x6".
+	TopologyName string
+	// Sources is the number of transmitting nodes.
+	Sources int
+
+	// OfferedFlitRate is the configured aggregate load (flits/cycle);
+	// OfferedPerSource the per-source share.
+	OfferedFlitRate  float64
+	OfferedPerSource float64
+
+	// Throughput is absorbed flits/cycle over the measurement window
+	// (the paper's NoC throughput index); PerNode divides by N.
+	Throughput        float64
+	ThroughputPerNode float64
+	// PacketRate is absorbed packets/cycle.
+	PacketRate float64
+	// AcceptedFlitRate is injected flits/cycle (drops below offered at
+	// saturation).
+	AcceptedFlitRate float64
+
+	// MeanLatency is creation-to-ejection in cycles; quantiles of the
+	// same distribution follow. MeanNetLatency excludes source queueing.
+	MeanLatency    float64
+	P50Latency     float64
+	P95Latency     float64
+	MeanNetLatency float64
+
+	// MeanHops is the observed average routed distance (Figure 5).
+	MeanHops float64
+
+	// Raw counters.
+	InjectedPackets uint64
+	EjectedPackets  uint64
+	SourceBlocked   uint64
+
+	// LinkTraversals is the total flit-link events of the whole run
+	// (warm-up included); MeanLinkUtil and MaxLinkUtil are per-channel
+	// flits/cycle over the same span.
+	LinkTraversals uint64
+	MeanLinkUtil   float64
+	MaxLinkUtil    float64
+
+	// EnergyPerPacket estimates delivery energy per packet under the
+	// default cost model at the observed mean hop count; TotalEnergy
+	// multiplies by the ejected packet count.
+	EnergyPerPacket float64
+	TotalEnergy     float64
+}
+
+// Run executes the scenario to completion and returns its measurements.
+// Equal scenarios produce equal results, bit for bit.
+func Run(s Scenario) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	topo, alg, err := s.Build()
+	if err != nil {
+		return Result{}, err
+	}
+	pattern, err := s.Pattern()
+	if err != nil {
+		return Result{}, err
+	}
+	col := stats.NewCollector(s.Warmup)
+	net, err := noc.NewNetwork(topo, alg, s.Config, col)
+	if err != nil {
+		return Result{}, err
+	}
+	kernel := sim.NewKernel()
+	gen, err := traffic.NewGenerator(kernel, net, pattern, s.Process, s.Lambda, s.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	gen.Start()
+	ticker := sim.NewTicker(kernel, 1)
+	ticker.OnTick(func(uint64) { net.Step() })
+	ticker.Start()
+
+	total := sim.Time(s.Warmup + s.Measure)
+	kernel.RunUntil(total)
+
+	if err := net.CheckConservation(); err != nil {
+		return Result{}, fmt.Errorf("core: %s: %w", s.Label(), err)
+	}
+
+	sources := pattern.Sources(s.Nodes)
+	r := Result{
+		Scenario:          s,
+		TopologyName:      topo.Name(),
+		Sources:           sources,
+		OfferedFlitRate:   gen.OfferedFlitRate(),
+		Throughput:        col.Throughput(),
+		ThroughputPerNode: col.ThroughputPerNode(s.Nodes),
+		PacketRate:        col.PacketThroughput(),
+		AcceptedFlitRate:  col.AcceptedRate(),
+		MeanLatency:       col.MeanLatency(),
+		P50Latency:        col.LatencyQuantile(0.5),
+		P95Latency:        col.LatencyQuantile(0.95),
+		MeanNetLatency:    col.MeanNetworkLatency(),
+		MeanHops:          col.MeanHops(),
+		InjectedPackets:   col.PacketsInjected(),
+		EjectedPackets:    col.PacketsEjected(),
+		SourceBlocked:     col.SourceBlockedCycles(),
+	}
+	if sources > 0 {
+		r.OfferedPerSource = r.OfferedFlitRate / float64(sources)
+	}
+	for _, v := range net.ChannelTraversals() {
+		r.LinkTraversals += v
+	}
+	u := net.Utilization()
+	r.MeanLinkUtil, r.MaxLinkUtil = u.Mean, u.Max
+	cm := analysis.DefaultCostModel()
+	r.EnergyPerPacket = cm.MeanPacketEnergy(r.MeanHops, s.Config.PacketLen)
+	r.TotalEnergy = r.EnergyPerPacket * float64(r.EjectedPackets)
+	return r, nil
+}
+
+// Sweep runs the base scenario once per lambda, in parallel across
+// GOMAXPROCS workers (each run is fully independent and deterministic),
+// returning results in lambda order.
+func Sweep(base Scenario, lambdas []float64) ([]Result, error) {
+	results := make([]Result, len(lambdas))
+	errs := make([]error, len(lambdas))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	for i, l := range lambdas {
+		i, l := i, l
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			s := base
+			s.Lambda = l
+			results[i], errs[i] = Run(s)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// SweepScenarios runs heterogeneous scenarios in parallel, preserving
+// order.
+func SweepScenarios(scenarios []Scenario) ([]Result, error) {
+	results := make([]Result, len(scenarios))
+	errs := make([]error, len(scenarios))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	for i := range scenarios {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = Run(scenarios[i])
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+func maxParallel() int {
+	p := runtime.GOMAXPROCS(0)
+	if p < 1 {
+		return 1
+	}
+	return p
+}

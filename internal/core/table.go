@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"gonoc/internal/stats"
+)
+
+// Table is a figure regenerated as data: a shared abscissa (node count
+// or injection rate) and one series per topology/configuration, exactly
+// the curves of the paper's plots.
+type Table struct {
+	// Title names the figure, e.g. "Figure 6: NoC throughput, one hot-spot".
+	Title string
+	// XName labels the abscissa, e.g. "N" or "lambda (flits/cycle)".
+	XName string
+	// Series holds one named curve per column.
+	Series []*stats.Series
+}
+
+// Add appends a series.
+func (t *Table) Add(s *stats.Series) { t.Series = append(t.Series, s) }
+
+// xUnion returns the sorted union of all series' x values.
+func (t *Table) xUnion() []float64 {
+	seen := map[float64]bool{}
+	for _, s := range t.Series {
+		for _, x := range s.X {
+			seen[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(seen))
+	for x := range seen {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// fmtCell renders a numeric cell; NaN and missing render as "-".
+func fmtCell(v float64, ok bool) string {
+	if !ok || math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// Text renders the table as aligned columns for terminal output.
+func (t *Table) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	headers := append([]string{t.XName}, names(t.Series)...)
+	xs := t.xUnion()
+	rows := make([][]string, 0, len(xs)+1)
+	rows = append(rows, headers)
+	for _, x := range xs {
+		row := []string{fmt.Sprintf("%.4g", x)}
+		for _, s := range t.Series {
+			y, ok := s.YAt(x)
+			row = append(row, fmtCell(y, ok))
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(headers))
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for ri, row := range rows {
+		for i, c := range row {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for i := range row {
+				b.WriteString(strings.Repeat("-", widths[i]) + "  ")
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(t.XName))
+	for _, s := range t.Series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s.Name))
+	}
+	b.WriteByte('\n')
+	for _, x := range t.xUnion() {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range t.Series {
+			b.WriteByte(',')
+			if y, ok := s.YAt(x); ok && !math.IsNaN(y) {
+				fmt.Fprintf(&b, "%g", y)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func names(series []*stats.Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Name
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+// Package noc is a cycle-accurate model of the wormhole-switched
+// Network-on-Chip the paper simulates in OMNeT++: packets of constant
+// flit count are injected by per-node IPs with Poisson interarrivals,
+// head flits are routed hop by hop, body flits follow the path the head
+// opened, and the paper's exact buffer architecture is reproduced —
+// one-flit input buffers per incoming link, a configurable number of
+// output queues (virtual channels) per outgoing link with three-flit
+// capacity, and a network interface whose sink consumes flits FIFO.
+//
+// The model is synchronous: Network.Step advances one clock cycle, in
+// which every flit moves at most one pipeline stage (ejection, switch
+// traversal, injection, link traversal). All arbitration is round-robin
+// and all iteration orders are fixed, so simulations are deterministic.
+package noc
+
+import "fmt"
+
+// Packet is one application message, split into Len flits for
+// transmission (the paper uses constant 6-flit packets).
+type Packet struct {
+	// ID is unique per network, in creation order.
+	ID uint64
+	// Src and Dst are node ids.
+	Src, Dst int
+	// Len is the number of flits.
+	Len int
+	// CreatedCycle is when the IP generated the packet.
+	CreatedCycle uint64
+	// InjectedCycle is when the head flit entered the network (left
+	// the IP source queue); meaningful once injected.
+	InjectedCycle uint64
+	// Hops counts link traversals of the head flit.
+	Hops int
+
+	recv int // flits consumed at the destination so far
+}
+
+// String renders a compact identification of the packet.
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt%d %d->%d len=%d", p.ID, p.Src, p.Dst, p.Len)
+}
+
+// Flit is the unit of flow control: packets travel as a head flit
+// followed by body flits and a tail flit (a 1-flit packet's single flit
+// is both head and tail).
+type Flit struct {
+	// Pkt is the packet this flit belongs to.
+	Pkt *Packet
+	// Seq is the flit's 0-based position within the packet.
+	Seq int
+	// VC is the virtual-channel tag of the channel the flit currently
+	// occupies; receivers demultiplex switching state by it.
+	VC int
+
+	lastMove uint64 // cycle of the flit's last stage advance
+}
+
+// IsHead reports whether this is the packet's head flit.
+func (f *Flit) IsHead() bool { return f.Seq == 0 }
+
+// IsTail reports whether this is the packet's tail flit.
+func (f *Flit) IsTail() bool { return f.Seq == f.Pkt.Len-1 }
+
+// String renders the flit with its packet and role.
+func (f *Flit) String() string {
+	role := "body"
+	if f.IsHead() {
+		role = "head"
+	}
+	if f.IsTail() {
+		if f.IsHead() {
+			role = "head+tail"
+		} else {
+			role = "tail"
+		}
+	}
+	return fmt.Sprintf("%v flit %d (%s) vc%d", f.Pkt, f.Seq, role, f.VC)
+}

@@ -1,0 +1,509 @@
+package noc
+
+import (
+	"fmt"
+
+	"gonoc/internal/routing"
+	"gonoc/internal/stats"
+	"gonoc/internal/topology"
+)
+
+// Network is a complete cycle-accurate NoC: a router per node, a
+// network interface per node, and the wiring given by the topology and
+// routing algorithm. Drive it by calling Inject for each generated
+// packet and Step once per clock cycle.
+type Network struct {
+	topo topology.Topology
+	alg  routing.Algorithm
+	cfg  Config
+	col  *stats.Collector
+
+	routers []*router
+	nis     []*ni
+
+	cycle        uint64
+	nextPktID    uint64
+	created      uint64
+	ejected      uint64
+	injected     uint64
+	lastActivity uint64
+	moved        bool // any flit progress in the current cycle
+
+	// linkFlits counts flit traversals per channel ID.
+	linkFlits []uint64
+	// onEject, when set, runs for every fully consumed packet.
+	onEject func(p *Packet)
+	// adaptive is non-nil when the algorithm supports congestion-aware
+	// choice.
+	adaptive routing.Adaptive
+}
+
+// ni is the per-node network interface: the IP-memory source queue, the
+// current outgoing worm's switching state, and packet-reassembly
+// accounting for the sink side.
+type ni struct {
+	node    int
+	queue   []*Packet  // IP memory, FIFO
+	sending *Packet    // packet currently being injected flit by flit
+	nextSeq int        // next flit index of sending
+	route   routeEntry // output assignment of sending's worm
+	vc      int        // routing VC state of sending's head path start
+}
+
+// NewNetwork builds a network over t using algorithm a, buffer/interface
+// geometry cfg and collector col (which must be non-nil; use a
+// collector with warm-up 0 to measure everything).
+func NewNetwork(t topology.Topology, a routing.Algorithm, cfg Config, col *stats.Collector) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if col == nil {
+		return nil, fmt.Errorf("noc: nil collector")
+	}
+	if a.VCs() < 1 {
+		return nil, fmt.Errorf("noc: algorithm %s declares %d VCs", a.Name(), a.VCs())
+	}
+	n := &Network{topo: t, alg: a, cfg: cfg, col: col}
+	n.linkFlits = make([]uint64, len(t.Channels()))
+	if aa, ok := a.(routing.Adaptive); ok {
+		n.adaptive = aa
+	}
+	for v := 0; v < t.Nodes(); v++ {
+		n.routers = append(n.routers, newRouter(v, t, a.VCs()))
+		n.nis = append(n.nis, &ni{node: v})
+	}
+	return n, nil
+}
+
+// Topology returns the network's interconnect graph.
+func (n *Network) Topology() topology.Topology { return n.topo }
+
+// Algorithm returns the routing algorithm in use.
+func (n *Network) Algorithm() routing.Algorithm { return n.alg }
+
+// Config returns the buffer/interface geometry.
+func (n *Network) Config() Config { return n.cfg }
+
+// Cycle returns the number of completed cycles.
+func (n *Network) Cycle() uint64 { return n.cycle }
+
+// Collector returns the attached statistics collector.
+func (n *Network) Collector() *stats.Collector { return n.col }
+
+// Inject creates a packet from src to dst in src's IP memory at the
+// current cycle. It returns an error for invalid endpoints, and
+// ErrSourceQueueFull when a bounded source queue is at capacity.
+func (n *Network) Inject(src, dst int) error {
+	_, err := n.InjectPacket(src, dst)
+	return err
+}
+
+// InjectPacket is Inject returning the created packet, so closed-loop
+// traffic models (request/reply) can correlate deliveries.
+func (n *Network) InjectPacket(src, dst int) (*Packet, error) {
+	if src < 0 || src >= n.topo.Nodes() || dst < 0 || dst >= n.topo.Nodes() {
+		return nil, fmt.Errorf("noc: inject %d->%d out of range", src, dst)
+	}
+	if src == dst {
+		return nil, fmt.Errorf("noc: inject with src == dst == %d", src)
+	}
+	q := n.nis[src]
+	if n.cfg.SourceQueueCap > 0 && len(q.queue) >= n.cfg.SourceQueueCap {
+		return nil, ErrSourceQueueFull
+	}
+	p := &Packet{
+		ID:           n.nextPktID,
+		Src:          src,
+		Dst:          dst,
+		Len:          n.cfg.PacketLen,
+		CreatedCycle: n.cycle,
+	}
+	n.nextPktID++
+	n.created++
+	q.queue = append(q.queue, p)
+	return p, nil
+}
+
+// ErrSourceQueueFull reports an Inject refused by a bounded source queue.
+var ErrSourceQueueFull = fmt.Errorf("noc: source queue full")
+
+// route computes the next-hop decision for pkt's head at router r,
+// consulting local congestion when the algorithm is adaptive.
+func (n *Network) route(r *router, pkt *Packet, vc int) routing.Decision {
+	if n.adaptive != nil {
+		return n.adaptive.Choose(r.node, pkt.Dst, vc, congestionView{r: r, cap: n.cfg.OutBufCap})
+	}
+	return n.alg.Route(r.node, pkt.Dst, vc)
+}
+
+// canAdmit reports whether a new packet's head may be admitted to the
+// output queue: wormhole needs one free slot; cut-through and
+// store-and-forward reserve space for the whole packet, so a blocked
+// packet never straddles routers.
+func (n *Network) canAdmit(q *outVC, pkt *Packet) bool {
+	if q.owner != nil {
+		return false
+	}
+	if n.cfg.Switching == Wormhole {
+		return !q.full(n.cfg.OutBufCap)
+	}
+	return n.cfg.OutBufCap-len(q.q) >= pkt.Len
+}
+
+// canDepart reports whether the flit at the head of the output queue
+// may traverse the link. Store-and-forward additionally requires the
+// packet's tail flit to be resident in the same queue.
+func (n *Network) canDepart(q *outVC) bool {
+	if n.cfg.Switching != StoreAndForward {
+		return true
+	}
+	head := q.head()
+	if head.IsTail() {
+		return true
+	}
+	for _, f := range q.q[1:] {
+		if f.Pkt == head.Pkt && f.IsTail() {
+			return true
+		}
+	}
+	return false
+}
+
+// Step advances the network one clock cycle. The four phases — sink
+// ejection, switch traversal, source injection, link traversal — each
+// move a flit at most one stage, and a per-flit cycle stamp prevents a
+// flit from advancing through two stages in one cycle.
+func (n *Network) Step() {
+	n.moved = false
+	n.ejectPhase()
+	n.switchPhase()
+	n.injectPhase()
+	n.linkPhase()
+	if n.moved {
+		n.lastActivity = n.cycle
+	}
+	n.cycle++
+}
+
+// StepN advances the network k cycles.
+func (n *Network) StepN(k int) {
+	for i := 0; i < k; i++ {
+		n.Step()
+	}
+}
+
+// ejectPhase consumes up to SinkRate flits per node from input-slot
+// heads destined to that node, round-robin across (input port, VC)
+// slots. The paper's destination IP consumes flits in FIFO order
+// through a single ejection port — the bottleneck of the hot-spot
+// scenarios.
+func (n *Network) ejectPhase() {
+	vcs := n.alg.VCs()
+	for _, r := range n.routers {
+		budget := n.cfg.SinkRate
+		np := len(r.in)
+		if np == 0 {
+			continue
+		}
+		slots := np * vcs
+		for k := 0; k < slots && budget > 0; k++ {
+			s := (r.rrEj + k) % slots
+			p := r.in[s/vcs]
+			vc := s % vcs
+			for budget > 0 && !p.empty(vc) && p.head(vc).Pkt.Dst == r.node {
+				f := p.pop(vc)
+				budget--
+				n.moved = true
+				f.Pkt.recv++
+				if f.IsTail() {
+					n.ejected++
+					n.col.PacketEjected(n.cycle, f.Pkt.CreatedCycle, f.Pkt.InjectedCycle, f.Pkt.Len, f.Pkt.Hops)
+					if n.onEject != nil {
+						n.onEject(f.Pkt)
+					}
+				}
+			}
+		}
+		r.rrEj = (r.rrEj + 1) % slots
+	}
+}
+
+// switchPhase moves flits from input slots to output queues. Head
+// flits run the routing function and must win the output queue
+// (ownership + space); body flits follow their packet's switching
+// entry. One flit per input port per cycle (the crossbar input port is
+// shared by the port's VC slots, arbitrated round-robin).
+func (n *Network) switchPhase() {
+	vcs := n.alg.VCs()
+	for _, r := range n.routers {
+		np := len(r.in)
+		for k := 0; k < np; k++ {
+			p := r.in[(r.rrIn+k)%np]
+			for j := 0; j < vcs; j++ {
+				inVC := (p.rrVC + j) % vcs
+				if p.empty(inVC) {
+					continue
+				}
+				f := p.head(inVC)
+				if f.lastMove >= n.cycle+1 {
+					continue // already advanced this cycle
+				}
+				if f.Pkt.Dst == r.node {
+					continue // waits for the ejection phase
+				}
+				entry := &p.route[inVC]
+				if f.IsHead() {
+					// Heads route afresh on every attempt (adaptive
+					// algorithms re-evaluate congestion) and commit
+					// switching state only when the output queue is won.
+					d := n.route(r, f.Pkt, inVC)
+					op := r.outPortByDir(d.Dir)
+					if op == nil {
+						panic(fmt.Sprintf("noc: %s chose missing direction %v at node %d for %v",
+							n.alg.Name(), d.Dir, r.node, f.Pkt))
+					}
+					ovc := op.vcs[d.VC]
+					if !n.canAdmit(ovc, f.Pkt) {
+						continue // allocation denied; retry next cycle
+					}
+					ovc.owner = f.Pkt
+					*entry = routeEntry{active: true, port: op, vc: d.VC}
+				} else if !entry.active {
+					panic(fmt.Sprintf("noc: body flit %v at node %d without switching state", f, r.node))
+				}
+				ovc := entry.port.vcs[entry.vc]
+				if ovc.owner != f.Pkt || ovc.full(n.cfg.OutBufCap) {
+					continue // space denied; retry next cycle
+				}
+				p.pop(inVC)
+				f.VC = entry.vc
+				f.lastMove = n.cycle + 1
+				ovc.push(f)
+				n.moved = true
+				if f.IsTail() {
+					ovc.owner = nil
+					entry.active = false
+				}
+				p.rrVC = (inVC + 1) % vcs
+				break // one flit per input port per cycle
+			}
+		}
+		r.rrIn = (r.rrIn + 1) % np
+	}
+}
+
+// injectPhase lets each NI push up to InjectRate flits of its current
+// packet into the local router's output queues, opening the worm with a
+// routing decision on the head flit. A blocked ready flit is recorded
+// as a source-blocked cycle.
+func (n *Network) injectPhase() {
+	for node, q := range n.nis {
+		r := n.routers[node]
+		budget := n.cfg.InjectRate
+		for budget > 0 {
+			if q.sending == nil {
+				if len(q.queue) == 0 {
+					break
+				}
+				q.sending = q.queue[0]
+				copy(q.queue, q.queue[1:])
+				q.queue[len(q.queue)-1] = nil
+				q.queue = q.queue[:len(q.queue)-1]
+				q.nextSeq = 0
+				q.vc = 0
+				q.route = routeEntry{}
+			}
+			pkt := q.sending
+			if q.nextSeq == 0 && !q.route.active {
+				d := n.route(r, pkt, 0)
+				op := r.outPortByDir(d.Dir)
+				if op == nil {
+					panic(fmt.Sprintf("noc: %s chose missing direction %v at source %d for %v",
+						n.alg.Name(), d.Dir, node, pkt))
+				}
+				ovc := op.vcs[d.VC]
+				if n.canAdmit(ovc, pkt) {
+					ovc.owner = pkt
+					q.route = routeEntry{active: true, port: op, vc: d.VC}
+				} else {
+					n.col.SourceBlocked(n.cycle)
+					break
+				}
+			}
+			ovc := q.route.port.vcs[q.route.vc]
+			if ovc.full(n.cfg.OutBufCap) {
+				n.col.SourceBlocked(n.cycle)
+				break
+			}
+			f := &Flit{Pkt: pkt, Seq: q.nextSeq, VC: q.route.vc, lastMove: n.cycle + 1}
+			ovc.push(f)
+			n.moved = true
+			q.nextSeq++
+			budget--
+			if f.IsHead() {
+				pkt.InjectedCycle = n.cycle
+				n.injected++
+				n.col.PacketInjected(n.cycle, pkt.Len)
+			}
+			if f.IsTail() {
+				ovc.owner = nil
+				q.sending = nil
+				q.route = routeEntry{}
+			}
+		}
+	}
+}
+
+// linkPhase forwards one flit per physical link from the head of an
+// output queue (round-robin across that port's VCs) into the matching
+// downstream per-VC input slot, provided the slot has room and the flit
+// has not already advanced this cycle.
+func (n *Network) linkPhase() {
+	for _, r := range n.routers {
+		for _, op := range r.out {
+			nv := len(op.vcs)
+			sent := false
+			for k := 0; k < nv && !sent; k++ {
+				vi := (op.rr + k) % nv
+				v := op.vcs[vi]
+				if v.empty() {
+					continue
+				}
+				f := v.head()
+				if f.lastMove >= n.cycle+1 {
+					continue
+				}
+				if !n.canDepart(v) {
+					continue
+				}
+				dst := n.routers[op.ch.Dst]
+				ip := dst.inPortByChannel(op.ch.ID)
+				if ip.full(vi, n.cfg.InBufCap) {
+					continue
+				}
+				v.pop()
+				f.lastMove = n.cycle + 1
+				if f.IsHead() {
+					f.Pkt.Hops++
+				}
+				n.linkFlits[op.ch.ID]++
+				ip.push(vi, f)
+				n.moved = true
+				sent = true
+			}
+			op.rr = (op.rr + 1) % nv
+		}
+	}
+}
+
+// CreatedPackets returns the number of packets created by Inject.
+func (n *Network) CreatedPackets() uint64 { return n.created }
+
+// EjectedPackets returns the number of packets fully consumed at sinks.
+func (n *Network) EjectedPackets() uint64 { return n.ejected }
+
+// InjectedPackets returns the number of packets whose head flit entered
+// the network.
+func (n *Network) InjectedPackets() uint64 { return n.injected }
+
+// QueuedPackets returns the number of packets waiting in IP source
+// queues (including each NI's partially injected packet).
+func (n *Network) QueuedPackets() int {
+	q := 0
+	for _, s := range n.nis {
+		q += len(s.queue)
+		if s.sending != nil {
+			q++
+		}
+	}
+	return q
+}
+
+// InFlightFlits returns the number of flits resident in router buffers.
+func (n *Network) InFlightFlits() int {
+	f := 0
+	for _, r := range n.routers {
+		f += r.bufferedFlits()
+	}
+	return f
+}
+
+// IdleCycles returns how many cycles have elapsed since any flit moved.
+// With traffic pending, a large value indicates deadlock (the tests'
+// watchdog asserts this never happens for the paper's configurations).
+func (n *Network) IdleCycles() uint64 {
+	if n.cycle == 0 {
+		return 0
+	}
+	return n.cycle - 1 - n.lastActivity
+}
+
+// CheckConservation verifies no flit was lost or duplicated: every
+// created packet is queued, in flight, or fully ejected, and in-flight
+// flit counts match packet bookkeeping. It returns nil when consistent.
+func (n *Network) CheckConservation() error {
+	inFlight := uint64(0)
+	for _, s := range n.nis {
+		if s.sending != nil {
+			inFlight++ // partially injected packet
+		}
+	}
+	// Count distinct packets with flits in buffers that are fully
+	// injected but not ejected. Walk buffers and collect.
+	seen := make(map[uint64]bool)
+	for _, r := range n.routers {
+		for _, p := range r.in {
+			for _, b := range p.bufs {
+				for _, f := range b {
+					seen[f.Pkt.ID] = true
+				}
+			}
+		}
+		for _, op := range r.out {
+			for _, v := range op.vcs {
+				for _, f := range v.q {
+					seen[f.Pkt.ID] = true
+				}
+			}
+		}
+	}
+	queued := uint64(0)
+	for _, s := range n.nis {
+		queued += uint64(len(s.queue))
+		if s.sending != nil {
+			delete(seen, s.sending.ID) // counted as sending already
+		}
+	}
+	netResident := uint64(len(seen)) + inFlight
+	total := queued + netResident + n.ejected
+	if total < n.created {
+		return fmt.Errorf("noc: conservation violated: created %d, accounted %d (queued %d, resident %d, ejected %d)",
+			n.created, total, queued, netResident, n.ejected)
+	}
+	// Packets partially ejected still have flits in the network and are
+	// counted in netResident, so the total can exceed created only if a
+	// packet is double-counted — which the sets above preclude; an
+	// overshoot therefore also indicates a bug.
+	if total > n.created {
+		return fmt.Errorf("noc: conservation violated (overcount): created %d, accounted %d", n.created, total)
+	}
+	return nil
+}
+
+// Drain runs the network without new injections until all traffic is
+// delivered or maxCycles elapse; it returns an error in the latter case
+// or if conservation fails. Useful in tests: a network that cannot
+// drain is deadlocked.
+func (n *Network) Drain(maxCycles int) error {
+	for i := 0; i < maxCycles; i++ {
+		if n.QueuedPackets() == 0 && n.InFlightFlits() == 0 {
+			return n.CheckConservation()
+		}
+		n.Step()
+	}
+	if n.QueuedPackets() == 0 && n.InFlightFlits() == 0 {
+		return n.CheckConservation()
+	}
+	return fmt.Errorf("noc: failed to drain after %d cycles: %d queued packets, %d in-flight flits",
+		maxCycles, n.QueuedPackets(), n.InFlightFlits())
+}

@@ -1,0 +1,123 @@
+package noc
+
+import (
+	"sort"
+
+	"gonoc/internal/topology"
+)
+
+// This file adds the observability surface of the network: per-channel
+// utilisation counters, queue-occupancy snapshots, and the ejection
+// callback that closed-loop (request/reply) traffic models hook into.
+
+// OnEject registers fn to run whenever a packet's tail flit is consumed
+// at its destination, after statistics are recorded. Callbacks may
+// inject new packets (e.g. replies); they run inside Step, in ejection
+// order. Passing nil clears the callback.
+func (n *Network) OnEject(fn func(p *Packet)) { n.onEject = fn }
+
+// ChannelTraversals returns, indexed by channel ID, the number of flit
+// link traversals since construction (warm-up included; divide by
+// Cycle() for utilisation, or use ChannelUtilization).
+func (n *Network) ChannelTraversals() []uint64 {
+	out := make([]uint64, len(n.linkFlits))
+	copy(out, n.linkFlits)
+	return out
+}
+
+// ChannelUtilization returns per-channel flits/cycle since
+// construction — each channel moves at most one flit per cycle, so
+// values are in [0, 1].
+func (n *Network) ChannelUtilization() []float64 {
+	out := make([]float64, len(n.linkFlits))
+	if n.cycle == 0 {
+		return out
+	}
+	for i, c := range n.linkFlits {
+		out[i] = float64(c) / float64(n.cycle)
+	}
+	return out
+}
+
+// UtilizationSummary describes the channel load distribution of a run.
+type UtilizationSummary struct {
+	// Mean and Max are flits/cycle over all channels.
+	Mean, Max float64
+	// MaxChannel is the channel achieving Max.
+	MaxChannel topology.Channel
+	// P50 and P90 are utilisation quantiles across channels.
+	P50, P90 float64
+}
+
+// Utilization summarises the channel load distribution: under hot-spot
+// traffic the maximum concentrates on the target's incoming links
+// while the mean stays low — the imbalance behind Figures 6-9.
+func (n *Network) Utilization() UtilizationSummary {
+	u := n.ChannelUtilization()
+	if len(u) == 0 {
+		return UtilizationSummary{}
+	}
+	var s UtilizationSummary
+	maxI := 0
+	sum := 0.0
+	for i, v := range u {
+		sum += v
+		if v > u[maxI] {
+			maxI = i
+		}
+	}
+	s.Mean = sum / float64(len(u))
+	s.Max = u[maxI]
+	s.MaxChannel = n.topo.Channels()[maxI]
+	sorted := make([]float64, len(u))
+	copy(sorted, u)
+	sort.Float64s(sorted)
+	s.P50 = sorted[len(sorted)/2]
+	s.P90 = sorted[(len(sorted)*9)/10]
+	return s
+}
+
+// OccupancySnapshot counts the flits currently buffered per node.
+func (n *Network) OccupancySnapshot() []int {
+	out := make([]int, len(n.routers))
+	for i, r := range n.routers {
+		out[i] = r.bufferedFlits()
+	}
+	return out
+}
+
+// congestionView adapts one router to the routing.CongestionView
+// contract without importing the routing package (the noc package
+// defines the method set structurally).
+type congestionView struct {
+	r   *router
+	cap int
+}
+
+// OutputOccupancy returns the number of flits queued in the output
+// queue for direction d, virtual channel vc, plus one if the queue is
+// currently owned by an in-progress worm (it cannot accept a new head
+// even when short). Missing directions report a full queue.
+func (v congestionView) OutputOccupancy(d topology.Direction, vc int) int {
+	op := v.r.outPortByDir(d)
+	if op == nil || vc < 0 || vc >= len(op.vcs) {
+		return v.cap + 1
+	}
+	q := op.vcs[vc]
+	occ := len(q.q)
+	if q.owner != nil {
+		occ++
+	}
+	return occ
+}
+
+// OutputFree reports whether a new head flit could be accepted into
+// the output queue for direction d, vc right now.
+func (v congestionView) OutputFree(d topology.Direction, vc int) bool {
+	op := v.r.outPortByDir(d)
+	if op == nil || vc < 0 || vc >= len(op.vcs) {
+		return false
+	}
+	q := op.vcs[vc]
+	return q.owner == nil && !q.full(v.cap)
+}

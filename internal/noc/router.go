@@ -1,0 +1,147 @@
+package noc
+
+import (
+	"gonoc/internal/topology"
+)
+
+// outVC is one output queue of a physical output channel — the paper's
+// "multiple output queues for each physical link". It is a FIFO of
+// flits with an ownership discipline guaranteeing that the flits of two
+// packets never interleave within the queue: owner is the packet whose
+// worm is currently entering, set when its head flit is accepted and
+// cleared when its tail flit is accepted (trailing packets then queue
+// strictly behind).
+type outVC struct {
+	q     []*Flit
+	owner *Packet
+}
+
+func (v *outVC) full(cap int) bool { return len(v.q) >= cap }
+func (v *outVC) empty() bool       { return len(v.q) == 0 }
+func (v *outVC) head() *Flit       { return v.q[0] }
+
+func (v *outVC) push(f *Flit) { v.q = append(v.q, f) }
+
+func (v *outVC) pop() *Flit {
+	f := v.q[0]
+	copy(v.q, v.q[1:])
+	v.q[len(v.q)-1] = nil
+	v.q = v.q[:len(v.q)-1]
+	return f
+}
+
+// outPort is one physical output channel with its VC queues and the
+// round-robin pointer arbitrating them onto the link.
+type outPort struct {
+	ch  topology.Channel
+	vcs []*outVC
+	rr  int // next VC to consider for link traversal
+}
+
+// routeEntry is the switching state the head flit configures: flits of
+// the owning packet arriving on one (input port, VC tag) are forwarded
+// to the assigned output queue — the paper's "pre-configured switching
+// functions on the output queue of the channel belonging to the path
+// opened by the head flit".
+type routeEntry struct {
+	active bool
+	port   *outPort
+	vc     int
+}
+
+// inPort is one incoming link. The receive buffering is one FIFO slot
+// set per virtual channel (capacity Config.InBufCap flits each, 1 in
+// the paper): virtual-channel flow control demultiplexes arriving flits
+// by their VC tag into per-VC slots. A single slot shared by both VCs
+// would re-couple them through head-of-line blocking and void the
+// dateline deadlock proof: a blocked VC-0 flit occupying the shared
+// slot stops VC-1 traffic behind it, letting the dependency chain
+// re-enter VC 0 past the dateline and close a cycle.
+type inPort struct {
+	ch    topology.Channel
+	bufs  [][]*Flit    // per-VC receive slots
+	route []routeEntry // per-VC switching state
+	rrVC  int          // round-robin VC pointer for the switch stage
+}
+
+func (p *inPort) full(vc, cap int) bool { return len(p.bufs[vc]) >= cap }
+func (p *inPort) empty(vc int) bool     { return len(p.bufs[vc]) == 0 }
+func (p *inPort) head(vc int) *Flit     { return p.bufs[vc][0] }
+
+func (p *inPort) push(vc int, f *Flit) { p.bufs[vc] = append(p.bufs[vc], f) }
+
+func (p *inPort) pop(vc int) *Flit {
+	b := p.bufs[vc]
+	f := b[0]
+	copy(b, b[1:])
+	b[len(b)-1] = nil
+	p.bufs[vc] = b[:len(b)-1]
+	return f
+}
+
+// buffered counts flits across all VC slots of the port.
+func (p *inPort) buffered() int {
+	n := 0
+	for _, b := range p.bufs {
+		n += len(b)
+	}
+	return n
+}
+
+// router is the switching element of one node.
+type router struct {
+	node int
+	in   []*inPort  // indexed like topology.In(node)
+	out  []*outPort // indexed like topology.Out(node)
+	rrIn int        // round-robin start for switch allocation
+	rrEj int        // round-robin start for the ejection port
+}
+
+func newRouter(node int, t topology.Topology, vcs int) *router {
+	r := &router{node: node}
+	for _, c := range t.In(node) {
+		r.in = append(r.in, &inPort{ch: c, bufs: make([][]*Flit, vcs), route: make([]routeEntry, vcs)})
+	}
+	for _, c := range t.Out(node) {
+		op := &outPort{ch: c}
+		for v := 0; v < vcs; v++ {
+			op.vcs = append(op.vcs, &outVC{})
+		}
+		r.out = append(r.out, op)
+	}
+	return r
+}
+
+// outPortByDir returns the output port in the given direction, or nil.
+func (r *router) outPortByDir(d topology.Direction) *outPort {
+	for _, p := range r.out {
+		if p.ch.Dir == d {
+			return p
+		}
+	}
+	return nil
+}
+
+// inPortByChannel returns the input port for channel id, or nil.
+func (r *router) inPortByChannel(id int) *inPort {
+	for _, p := range r.in {
+		if p.ch.ID == id {
+			return p
+		}
+	}
+	return nil
+}
+
+// bufferedFlits counts flits resident in this router's buffers.
+func (r *router) bufferedFlits() int {
+	n := 0
+	for _, p := range r.in {
+		n += p.buffered()
+	}
+	for _, p := range r.out {
+		for _, v := range p.vcs {
+			n += len(v.q)
+		}
+	}
+	return n
+}

@@ -1,0 +1,204 @@
+package routing
+
+import (
+	"fmt"
+
+	"gonoc/internal/topology"
+)
+
+// The paper lists "adaptive" among the routing families for NoCs and
+// defers "analysis of routing protocols" to future work. This file
+// supplies that extension: minimally adaptive routing under a
+// turn-model restriction, with an exhaustive all-candidates dependency
+// check proving deadlock freedom.
+
+// CongestionView is what a router exposes to an adaptive algorithm at
+// decision time: occupancy of the local output queues. The noc package
+// implements it; tests use synthetic views.
+type CongestionView interface {
+	// OutputOccupancy returns the queued flits (plus one if the queue
+	// is owned by an in-flight worm) for the output queue in direction
+	// d, virtual channel vc; missing outputs report over-capacity.
+	OutputOccupancy(d topology.Direction, vc int) int
+	// OutputFree reports whether a new head flit could be accepted
+	// into that output queue right now.
+	OutputFree(d topology.Direction, vc int) bool
+}
+
+// Adaptive is a routing algorithm that may choose among several legal
+// next hops based on local congestion. Route (from Algorithm) must
+// return a fixed default candidate so the algorithm also works in
+// deterministic contexts.
+type Adaptive interface {
+	Algorithm
+	// Candidates returns every legal decision at (cur, dst, vc), in
+	// deterministic preference order. Must be non-empty for cur != dst.
+	Candidates(cur, dst, vc int) []Decision
+	// Choose picks one candidate given the local congestion view.
+	Choose(cur, dst, vc int, view CongestionView) Decision
+}
+
+// MeshWestFirst is the west-first turn model (Glass & Ni) on a full 2D
+// mesh: packets heading west travel fully west first (no adaptivity),
+// while packets heading east or straight north/south may choose
+// adaptively among the minimal directions {east, north, south}. The
+// model forbids the two turns into west, which removes both abstract
+// cycles, so a single buffer per channel suffices — like XY, but with
+// congestion-responsive path diversity for eastbound traffic.
+type MeshWestFirst struct {
+	mesh *topology.Mesh
+}
+
+// NewMeshWestFirst returns west-first adaptive routing for the full
+// mesh m; irregular meshes are rejected.
+func NewMeshWestFirst(m *topology.Mesh) (*MeshWestFirst, error) {
+	if m.Irregular() {
+		return nil, fmt.Errorf("routing: west-first unsupported on irregular mesh %s", m.Name())
+	}
+	return &MeshWestFirst{mesh: m}, nil
+}
+
+// Name returns "west-first".
+func (a *MeshWestFirst) Name() string { return "west-first" }
+
+// VCs returns 1: the turn model needs no virtual channels.
+func (a *MeshWestFirst) VCs() int { return 1 }
+
+// Candidates returns the minimal directions permitted by the west-first
+// turn rule, preferring the dimension with more remaining distance.
+func (a *MeshWestFirst) Candidates(cur, dst, vc int) []Decision {
+	m := a.mesh
+	x, y := m.Coord(cur)
+	dx, dy := m.Coord(dst)
+	if dx < x {
+		// West traffic is fully deterministic: west first, then Y.
+		return []Decision{{Dir: topology.DirWest, VC: 0}}
+	}
+	var out []Decision
+	ew := dx - x
+	var ns int
+	var nsDir topology.Direction
+	if dy > y {
+		ns, nsDir = dy-y, topology.DirSouth
+	} else if dy < y {
+		ns, nsDir = y-dy, topology.DirNorth
+	}
+	// Preference order: longer remaining dimension first, so the
+	// default (deterministic) path balances the two dimensions.
+	if ew >= ns && ew > 0 {
+		out = append(out, Decision{Dir: topology.DirEast, VC: 0})
+	}
+	if ns > 0 {
+		out = append(out, Decision{Dir: nsDir, VC: 0})
+	}
+	if ew > 0 && ew < ns {
+		out = append(out, Decision{Dir: topology.DirEast, VC: 0})
+	}
+	return out
+}
+
+// Route returns the first candidate (deterministic default).
+func (a *MeshWestFirst) Route(cur, dst, vc int) Decision {
+	return a.Candidates(cur, dst, vc)[0]
+}
+
+// Choose picks the least-occupied candidate output queue, breaking
+// ties in preference order.
+func (a *MeshWestFirst) Choose(cur, dst, vc int, view CongestionView) Decision {
+	cands := a.Candidates(cur, dst, vc)
+	best := cands[0]
+	bestOcc := view.OutputOccupancy(best.Dir, best.VC)
+	for _, c := range cands[1:] {
+		if occ := view.OutputOccupancy(c.Dir, c.VC); occ < bestOcc {
+			best, bestOcc = c, occ
+		}
+	}
+	return best
+}
+
+// CheckDeadlockFreeAdaptive builds the dependency graph over EVERY
+// candidate branch an adaptive algorithm might take (not just the
+// deterministic default) and reports a cycle if one exists. The state
+// space is (node, vc) per (src, dst) pair, explored exhaustively.
+func CheckDeadlockFreeAdaptive(a Adaptive, t topology.Topology) error {
+	g := &DependencyGraph{
+		topo:  t,
+		alg:   a,
+		edges: make(map[resource]map[resource]bool),
+	}
+	n := t.Nodes()
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			if err := addAdaptivePaths(g, a, t, src, dst); err != nil {
+				return err
+			}
+		}
+	}
+	if cyc := g.FindCycle(); cyc != nil {
+		return fmt.Errorf("routing: %s on %s has a channel dependency cycle: %v", a.Name(), t.Name(), cyc)
+	}
+	return nil
+}
+
+// adaptiveState is one exploration state: the packet sits at node
+// having arrived over resource prev (nil at the source) on VC vc.
+type adaptiveState struct {
+	node int
+	vc   int
+	prev resource
+	src  bool // prev is unset
+}
+
+// addAdaptivePaths walks every candidate branch from src to dst,
+// recording dependencies between consecutive resources. Visited states
+// are pruned, so termination is guaranteed even for diverging rules.
+func addAdaptivePaths(g *DependencyGraph, a Adaptive, t topology.Topology, src, dst int) error {
+	limit := 4 * t.Nodes()
+	type queued struct {
+		s     adaptiveState
+		depth int
+	}
+	seen := map[adaptiveState]bool{}
+	start := adaptiveState{node: src, vc: 0, src: true}
+	queue := []queued{{s: start}}
+	seen[start] = true
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		if q.s.node == dst {
+			continue
+		}
+		if q.depth > limit {
+			return fmt.Errorf("routing: %s livelocks enumerating %d->%d", a.Name(), src, dst)
+		}
+		cands := a.Candidates(q.s.node, dst, q.s.vc)
+		if len(cands) == 0 {
+			return fmt.Errorf("routing: %s has no candidates at %d toward %d", a.Name(), q.s.node, dst)
+		}
+		for _, d := range cands {
+			next, ok := t.Neighbor(q.s.node, d.Dir)
+			if !ok {
+				return fmt.Errorf("routing: %s names missing direction %v at %d", a.Name(), d.Dir, q.s.node)
+			}
+			ch, _ := topology.ChannelBetween(t, q.s.node, next)
+			r := resource{channel: ch.ID, vc: d.VC}
+			if !q.s.src {
+				m, ok := g.edges[q.s.prev]
+				if !ok {
+					m = make(map[resource]bool)
+					g.edges[q.s.prev] = m
+				}
+				m[r] = true
+			}
+			ns := adaptiveState{node: next, vc: d.VC, prev: r}
+			if !seen[ns] {
+				seen[ns] = true
+				queue = append(queue, queued{s: ns, depth: q.depth + 1})
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package routing
+
+import (
+	"testing"
+
+	"gonoc/internal/topology"
+)
+
+// fakeView is a synthetic congestion view for unit tests.
+type fakeView struct {
+	occ map[topology.Direction]int
+}
+
+func (v fakeView) OutputOccupancy(d topology.Direction, vc int) int {
+	if o, ok := v.occ[d]; ok {
+		return o
+	}
+	return 99
+}
+
+func (v fakeView) OutputFree(d topology.Direction, vc int) bool {
+	return v.OutputOccupancy(d, vc) == 0
+}
+
+func mustWestFirst(t *testing.T, cols, rows int) (*MeshWestFirst, *topology.Mesh) {
+	t.Helper()
+	m := topology.MustMesh(cols, rows)
+	a, err := NewMeshWestFirst(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, m
+}
+
+func TestWestFirstRejectsIrregular(t *testing.T) {
+	if _, err := NewMeshWestFirst(topology.MustIrregularMesh(7)); err == nil {
+		t.Fatal("irregular mesh accepted")
+	}
+}
+
+func TestWestFirstDeterministicDefaultMinimal(t *testing.T) {
+	a, m := mustWestFirst(t, 4, 4)
+	if err := CheckMinimal(a, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckConnected(a, m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWestFirstWestboundDeterministic(t *testing.T) {
+	a, m := mustWestFirst(t, 4, 4)
+	_ = m
+	// From 7=(3,1) to 4=(0,1): pure west; a single candidate at each hop.
+	c := a.Candidates(7, 4, 0)
+	if len(c) != 1 || c[0].Dir != topology.DirWest {
+		t.Fatalf("westbound candidates = %v", c)
+	}
+	// Southwest destination: still west first.
+	c = a.Candidates(7, 12, 0) // (3,1) -> (0,3)
+	if len(c) != 1 || c[0].Dir != topology.DirWest {
+		t.Fatalf("southwest candidates = %v", c)
+	}
+}
+
+func TestWestFirstEastboundAdaptive(t *testing.T) {
+	a, _ := mustWestFirst(t, 4, 4)
+	// From 0=(0,0) to 15=(3,3): east and south both minimal.
+	c := a.Candidates(0, 15, 0)
+	if len(c) != 2 {
+		t.Fatalf("eastbound candidates = %v", c)
+	}
+	// Congestion steers: free south, busy east -> south.
+	d := a.Choose(0, 15, 0, fakeView{occ: map[topology.Direction]int{
+		topology.DirEast: 3, topology.DirSouth: 0,
+	}})
+	if d.Dir != topology.DirSouth {
+		t.Fatalf("choose under east congestion = %v", d)
+	}
+	// Equal congestion: preference order (balanced dimensions: east
+	// and south both distance 3; east preferred at ties by order).
+	d = a.Choose(0, 15, 0, fakeView{occ: map[topology.Direction]int{
+		topology.DirEast: 1, topology.DirSouth: 1,
+	}})
+	if d.Dir != c[0].Dir {
+		t.Fatalf("tie-break not preference order: %v vs %v", d, c[0])
+	}
+}
+
+func TestWestFirstCandidatePreferenceBalances(t *testing.T) {
+	a, _ := mustWestFirst(t, 6, 6)
+	// (0,0) -> (1,4): ns=4 > ew=1, so the first candidate is south.
+	dst, _ := topology.MustMesh(6, 6).NodeAt(1, 4)
+	c := a.Candidates(0, dst, 0)
+	if c[0].Dir != topology.DirSouth {
+		t.Fatalf("preference = %v, want south first", c)
+	}
+}
+
+func TestWestFirstDeadlockFreeAllBranches(t *testing.T) {
+	for _, d := range []struct{ c, r int }{{3, 3}, {4, 4}, {4, 6}, {2, 5}} {
+		a, m := mustWestFirst(t, d.c, d.r)
+		if err := CheckDeadlockFreeAdaptive(a, m); err != nil {
+			t.Fatalf("%dx%d: %v", d.c, d.r, err)
+		}
+	}
+}
+
+// A fully adaptive (unrestricted minimal) mesh router is NOT deadlock
+// free; the all-branches checker must find the cycle that west-first
+// removes.
+type unrestrictedMinimal struct{ mesh *topology.Mesh }
+
+func (a *unrestrictedMinimal) Name() string { return "minimal-any" }
+func (a *unrestrictedMinimal) VCs() int     { return 1 }
+func (a *unrestrictedMinimal) Candidates(cur, dst, vc int) []Decision {
+	m := a.mesh
+	x, y := m.Coord(cur)
+	dx, dy := m.Coord(dst)
+	var out []Decision
+	if dx > x {
+		out = append(out, Decision{Dir: topology.DirEast, VC: 0})
+	}
+	if dx < x {
+		out = append(out, Decision{Dir: topology.DirWest, VC: 0})
+	}
+	if dy > y {
+		out = append(out, Decision{Dir: topology.DirSouth, VC: 0})
+	}
+	if dy < y {
+		out = append(out, Decision{Dir: topology.DirNorth, VC: 0})
+	}
+	return out
+}
+func (a *unrestrictedMinimal) Route(cur, dst, vc int) Decision {
+	return a.Candidates(cur, dst, vc)[0]
+}
+func (a *unrestrictedMinimal) Choose(cur, dst, vc int, view CongestionView) Decision {
+	return a.Route(cur, dst, vc)
+}
+
+func TestUnrestrictedMinimalHasCycle(t *testing.T) {
+	m := topology.MustMesh(3, 3)
+	a := &unrestrictedMinimal{mesh: m}
+	if err := CheckDeadlockFreeAdaptive(a, m); err == nil {
+		t.Fatal("unrestricted minimal adaptive reported deadlock-free")
+	}
+}
+
+func TestAdaptiveCheckerCatchesMissingCandidates(t *testing.T) {
+	m := topology.MustMesh(3, 3)
+	if err := CheckDeadlockFreeAdaptive(&noCandidates{}, m); err == nil {
+		t.Fatal("empty candidate set not reported")
+	}
+}
+
+type noCandidates struct{}
+
+func (noCandidates) Name() string                                     { return "none" }
+func (noCandidates) VCs() int                                         { return 1 }
+func (noCandidates) Candidates(cur, dst, vc int) []Decision           { return nil }
+func (noCandidates) Route(cur, dst, vc int) Decision                  { return Decision{} }
+func (noCandidates) Choose(c, d, v int, view CongestionView) Decision { return Decision{} }

@@ -1,0 +1,176 @@
+package routing
+
+import (
+	"fmt"
+
+	"gonoc/internal/topology"
+)
+
+// This file implements the classical channel-dependency-graph (CDG)
+// analysis of Dally & Seitz: a deterministic wormhole routing function
+// is deadlock-free iff the graph whose vertices are (channel, virtual
+// channel) resources and whose edges are the "holds A, waits for B"
+// relations induced by routed paths is acyclic. Because all algorithms
+// in this package are deterministic, the exact dependency set is
+// enumerable by walking every (src, dst) path.
+
+// resource identifies one virtual channel of one physical channel.
+type resource struct {
+	channel int
+	vc      int
+}
+
+// DependencyGraph is the channel dependency graph of an algorithm on a
+// topology.
+type DependencyGraph struct {
+	topo  topology.Topology
+	alg   Algorithm
+	edges map[resource]map[resource]bool
+}
+
+// BuildDependencyGraph enumerates all source/destination pairs, walks
+// each routed path, and records a dependency from every resource to its
+// successor on the path. It returns an error if any path fails to
+// route.
+func BuildDependencyGraph(a Algorithm, t topology.Topology) (*DependencyGraph, error) {
+	g := &DependencyGraph{
+		topo:  t,
+		alg:   a,
+		edges: make(map[resource]map[resource]bool),
+	}
+	n := t.Nodes()
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			if err := g.addPath(src, dst); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// addPath walks one routed path, recording resource-to-resource edges.
+func (g *DependencyGraph) addPath(src, dst int) error {
+	limit := 4 * g.topo.Nodes()
+	cur, vc := src, 0
+	var prev *resource
+	for hops := 0; cur != dst; hops++ {
+		if hops > limit {
+			return fmt.Errorf("routing: livelock enumerating %d->%d with %s", src, dst, g.alg.Name())
+		}
+		d := g.alg.Route(cur, dst, vc)
+		next, ok := g.topo.Neighbor(cur, d.Dir)
+		if !ok {
+			return fmt.Errorf("routing: %s chose missing direction %v at %d toward %d", g.alg.Name(), d.Dir, cur, dst)
+		}
+		ch, _ := topology.ChannelBetween(g.topo, cur, next)
+		r := resource{channel: ch.ID, vc: d.VC}
+		if prev != nil {
+			m, ok := g.edges[*prev]
+			if !ok {
+				m = make(map[resource]bool)
+				g.edges[*prev] = m
+			}
+			m[r] = true
+		}
+		prev = &r
+		cur, vc = next, d.VC
+	}
+	return nil
+}
+
+// Resources returns the number of distinct (channel, vc) resources that
+// appear in the graph.
+func (g *DependencyGraph) Resources() int {
+	seen := make(map[resource]bool)
+	for from, tos := range g.edges {
+		seen[from] = true
+		for to := range tos {
+			seen[to] = true
+		}
+	}
+	return len(seen)
+}
+
+// Edges returns the number of dependency edges.
+func (g *DependencyGraph) Edges() int {
+	n := 0
+	for _, tos := range g.edges {
+		n += len(tos)
+	}
+	return n
+}
+
+// FindCycle returns a dependency cycle as a sequence of (channel, vc)
+// descriptions, or nil when the graph is acyclic. The cycle, if any, is
+// a concrete deadlock witness: a set of packets each holding one
+// resource and waiting for the next would block forever.
+func (g *DependencyGraph) FindCycle() []string {
+	const (
+		white = 0 // unvisited
+		grey  = 1 // on the current DFS stack
+		black = 2 // fully explored
+	)
+	color := make(map[resource]int)
+	var stack []resource
+	var cycle []resource
+
+	var dfs func(r resource) bool
+	dfs = func(r resource) bool {
+		color[r] = grey
+		stack = append(stack, r)
+		for next := range g.edges[r] {
+			switch color[next] {
+			case white:
+				if dfs(next) {
+					return true
+				}
+			case grey:
+				// Found a back edge: extract the cycle from the stack.
+				for i := len(stack) - 1; i >= 0; i-- {
+					cycle = append([]resource{stack[i]}, cycle...)
+					if stack[i] == next {
+						break
+					}
+				}
+				return true
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[r] = black
+		return false
+	}
+
+	for from := range g.edges {
+		if color[from] == white {
+			if dfs(from) {
+				break
+			}
+		}
+	}
+	if cycle == nil {
+		return nil
+	}
+	out := make([]string, len(cycle))
+	chans := g.topo.Channels()
+	for i, r := range cycle {
+		out[i] = fmt.Sprintf("%v@vc%d", chans[r.channel], r.vc)
+	}
+	return out
+}
+
+// CheckDeadlockFree builds the dependency graph of a on t and returns an
+// error describing a cycle if one exists.
+func CheckDeadlockFree(a Algorithm, t topology.Topology) error {
+	g, err := BuildDependencyGraph(a, t)
+	if err != nil {
+		return err
+	}
+	if cyc := g.FindCycle(); cyc != nil {
+		return fmt.Errorf("routing: %s on %s has a channel dependency cycle: %v", a.Name(), t.Name(), cyc)
+	}
+	return nil
+}

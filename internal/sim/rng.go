@@ -1,0 +1,192 @@
+// Package sim provides a small, deterministic discrete-event simulation
+// kernel: a future-event list driven by a binary heap, a simulation clock,
+// and reproducible random-number streams.
+//
+// The kernel is the execution substrate for the NoC models in this module,
+// playing the role OMNeT++ plays in the paper: components schedule events
+// at future times, the kernel dispatches them in (time, priority, FIFO)
+// order, and every stochastic component owns an independent seeded stream
+// so that simulations are exactly reproducible regardless of scheduling
+// interleavings or host parallelism.
+package sim
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator implementing
+// xoshiro256** seeded via SplitMix64. It is not safe for concurrent use;
+// give each simulation component its own stream via NewRNG or Split.
+type RNG struct {
+	s [4]uint64
+}
+
+// splitmix64 advances the seed and returns the next SplitMix64 output.
+// It is used only to expand a single 64-bit seed into the 256-bit
+// xoshiro state, per the reference initialisation procedure.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRNG returns a generator seeded from the given 64-bit seed. Two RNGs
+// built from the same seed produce identical sequences.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	x := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
+	}
+	// A theoretically possible all-zero state would make xoshiro
+	// degenerate; SplitMix64 cannot produce four zero outputs from any
+	// seed, but guard anyway so the invariant is local and checkable.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split derives a new, statistically independent stream from this one.
+// The parent stream advances by one draw.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation with rejection,
+	// giving an exactly uniform result for any n.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= -bound%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += aLo * bHi
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return
+}
+
+// Exp returns an exponentially distributed variate with the given rate
+// parameter (mean 1/rate). It panics if rate <= 0. Exponential
+// interarrivals are what make a packet source Poisson, as in the paper's
+// "Poisson interarrival distribution ... with variable parameter Lambda".
+func (r *RNG) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("sim: Exp with non-positive rate")
+	}
+	u := r.Float64()
+	// 1-u is in (0,1], so Log never sees zero.
+	return -math.Log(1-u) / rate
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Poisson returns a Poisson-distributed variate with the given mean,
+// using inversion by sequential search for small means and the normal
+// approximation cut-over for large means.
+func (r *RNG) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 30 {
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	// Normal approximation with continuity correction; adequate for the
+	// bulk-arrival helpers where mean is large.
+	n := int(math.Floor(mean + math.Sqrt(mean)*r.normFloat64() + 0.5))
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// normFloat64 returns a standard normal variate via the polar
+// Box–Muller method.
+func (r *RNG) normFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly permutes the first n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,356 @@
+// Package stats provides the measurement substrate for the NoC
+// simulations: streaming moments (Welford), histograms, time series,
+// batch-means confidence intervals, and warm-up aware collectors for the
+// two indexes the paper reports — throughput and latency.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary is a streaming estimator for the mean and variance of a sample
+// stream using Welford's numerically stable single-pass update. The zero
+// value is ready to use.
+type Summary struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// AddN incorporates the same observation n times (an O(1) batched
+// update, exact for mean and variance).
+func (s *Summary) AddN(x float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	other := Summary{n: n, mean: x, m2: 0, min: x, max: x}
+	s.Merge(&other)
+}
+
+// Merge folds another summary into this one (parallel Welford/Chan
+// update). The argument is unchanged.
+func (s *Summary) Merge(o *Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	n1, n2 := float64(s.n), float64(o.n)
+	delta := o.mean - s.mean
+	total := n1 + n2
+	s.mean += delta * n2 / total
+	s.m2 += o.m2 + delta*delta*n1*n2/total
+	s.n += o.n
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+}
+
+// Count returns the number of observations.
+func (s *Summary) Count() uint64 { return s.n }
+
+// Mean returns the sample mean, or NaN with no observations.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.mean
+}
+
+// Sum returns the total of all observations.
+func (s *Summary) Sum() float64 { return s.mean * float64(s.n) }
+
+// Variance returns the unbiased sample variance (n-1 denominator), or
+// NaN with fewer than two observations.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation, or NaN with no observations.
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the largest observation, or NaN with no observations.
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// StdErr returns the standard error of the mean.
+func (s *Summary) StdErr() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// Reset discards all observations.
+func (s *Summary) Reset() { *s = Summary{} }
+
+// String renders a compact human-readable summary.
+func (s *Summary) String() string {
+	if s.n == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g",
+		s.n, s.Mean(), s.StdDev(), s.min, s.max)
+}
+
+// CI95 returns the half-width of the 95% confidence interval for the
+// mean, using the normal quantile (the NoC runs collect thousands of
+// samples, where the t correction is negligible).
+func (s *Summary) CI95() float64 {
+	const z = 1.959963984540054
+	return z * s.StdErr()
+}
+
+// Quantiler collects raw observations for exact quantiles. Intended for
+// latency distributions, where the paper-level analysis needs medians
+// and tails rather than only means.
+type Quantiler struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends one observation.
+func (q *Quantiler) Add(x float64) {
+	q.xs = append(q.xs, x)
+	q.sorted = false
+}
+
+// Count returns the number of observations.
+func (q *Quantiler) Count() int { return len(q.xs) }
+
+// Quantile returns the p-quantile (0 <= p <= 1) with linear
+// interpolation, or NaN with no observations.
+func (q *Quantiler) Quantile(p float64) float64 {
+	if len(q.xs) == 0 {
+		return math.NaN()
+	}
+	if !q.sorted {
+		sort.Float64s(q.xs)
+		q.sorted = true
+	}
+	if p <= 0 {
+		return q.xs[0]
+	}
+	if p >= 1 {
+		return q.xs[len(q.xs)-1]
+	}
+	pos := p * float64(len(q.xs)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(q.xs) {
+		return q.xs[lo]
+	}
+	return q.xs[lo]*(1-frac) + q.xs[lo+1]*frac
+}
+
+// Median returns the 0.5 quantile.
+func (q *Quantiler) Median() float64 { return q.Quantile(0.5) }
+
+// Histogram is a fixed-width bucketed counter over [Lo, Hi); values
+// outside the range land in dedicated underflow/overflow buckets.
+type Histogram struct {
+	Lo, Hi    float64
+	buckets   []uint64
+	underflow uint64
+	overflow  uint64
+	count     uint64
+}
+
+// NewHistogram creates a histogram with n equal-width buckets spanning
+// [lo, hi). It panics on a degenerate range or non-positive bucket count.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || !(hi > lo) {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, buckets: make([]uint64, n)}
+}
+
+// Add incorporates one observation.
+func (h *Histogram) Add(x float64) {
+	h.count++
+	switch {
+	case x < h.Lo:
+		h.underflow++
+	case x >= h.Hi:
+		h.overflow++
+	default:
+		i := int(float64(len(h.buckets)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.buckets) { // x infinitesimally below Hi
+			i--
+		}
+		h.buckets[i]++
+	}
+}
+
+// Count returns the total number of observations, including out-of-range.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
+
+// Buckets returns the number of in-range buckets.
+func (h *Histogram) Buckets() int { return len(h.buckets) }
+
+// Underflow returns the count of observations below Lo.
+func (h *Histogram) Underflow() uint64 { return h.underflow }
+
+// Overflow returns the count of observations at or above Hi.
+func (h *Histogram) Overflow() uint64 { return h.overflow }
+
+// BucketBounds returns the [lo, hi) range of bucket i.
+func (h *Histogram) BucketBounds(i int) (lo, hi float64) {
+	w := (h.Hi - h.Lo) / float64(len(h.buckets))
+	return h.Lo + float64(i)*w, h.Lo + float64(i+1)*w
+}
+
+// Mode returns the midpoint of the fullest bucket (ties resolve to the
+// lowest), or NaN when every in-range bucket is empty.
+func (h *Histogram) Mode() float64 {
+	best, bestCount := -1, uint64(0)
+	for i, c := range h.buckets {
+		if c > bestCount {
+			best, bestCount = i, c
+		}
+	}
+	if best < 0 {
+		return math.NaN()
+	}
+	lo, hi := h.BucketBounds(best)
+	return (lo + hi) / 2
+}
+
+// BatchMeans estimates a confidence interval for the mean of a correlated
+// stationary series (e.g. per-cycle throughput) by the method of
+// non-overlapping batch means: the series is divided into batches, each
+// batch mean is treated as one approximately independent observation.
+type BatchMeans struct {
+	batchSize int
+	current   Summary
+	batches   Summary
+}
+
+// NewBatchMeans creates an estimator with the given batch size.
+func NewBatchMeans(batchSize int) *BatchMeans {
+	if batchSize <= 0 {
+		panic("stats: batch size must be positive")
+	}
+	return &BatchMeans{batchSize: batchSize}
+}
+
+// Add incorporates one observation of the underlying series.
+func (b *BatchMeans) Add(x float64) {
+	b.current.Add(x)
+	if int(b.current.Count()) == b.batchSize {
+		b.batches.Add(b.current.Mean())
+		b.current.Reset()
+	}
+}
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() uint64 { return b.batches.Count() }
+
+// Mean returns the grand mean across completed batches.
+func (b *BatchMeans) Mean() float64 { return b.batches.Mean() }
+
+// CI95 returns the 95% half-width computed over batch means.
+func (b *BatchMeans) CI95() float64 { return b.batches.CI95() }
+
+// Series is an append-only time series of (x, y) points, used to build
+// the figure curves (throughput or latency versus injection rate).
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// YAt returns the first y value recorded at x, with ok=false when x was
+// never recorded.
+func (s *Series) YAt(x float64) (y float64, ok bool) {
+	for i, v := range s.X {
+		if v == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// MaxY returns the largest y value, or NaN for an empty series.
+func (s *Series) MaxY() float64 {
+	if len(s.Y) == 0 {
+		return math.NaN()
+	}
+	m := s.Y[0]
+	for _, v := range s.Y[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Knee returns the x position where y first exceeds factor times the
+// value at the series start — the standard way of reading the saturation
+// point off a latency curve. ok is false when the series never crosses.
+func (s *Series) Knee(factor float64) (x float64, ok bool) {
+	if len(s.Y) == 0 {
+		return 0, false
+	}
+	base := s.Y[0]
+	for i := range s.X {
+		if s.Y[i] > base*factor {
+			return s.X[i], true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,131 @@
+package topology
+
+import "fmt"
+
+// The paper's future work calls for "analysis of ... additional NoC
+// topologies". This file provides two natural extensions of the studied
+// family: the 2D torus (a mesh with wraparound links, removing the mesh's
+// edge asymmetry) and the chordal ring (a ring with configurable-stride
+// chords, of which Spidergon is the special case stride = N/2).
+
+// Torus is an m×n 2D torus: a full mesh plus wraparound links in both
+// dimensions. Every node has degree 4 and the topology is vertex
+// symmetric. Dimensions below 3 are rejected to avoid parallel edges
+// (a 2-wide wraparound duplicates the mesh link).
+type Torus struct {
+	*graph
+	cols, rows int
+}
+
+// NewTorus builds an m-column × n-row torus with m, n >= 3.
+func NewTorus(cols, rows int) (*Torus, error) {
+	if cols < 3 || rows < 3 {
+		return nil, fmt.Errorf("topology: torus needs both dimensions >= 3, got %dx%d", cols, rows)
+	}
+	t := &Torus{graph: newGraph(fmt.Sprintf("torus-%dx%d", cols, rows), cols*rows), cols: cols, rows: rows}
+	for id := 0; id < cols*rows; id++ {
+		x, y := id%cols, id/cols
+		east := y*cols + (x+1)%cols
+		west := y*cols + (x-1+cols)%cols
+		north := ((y-1+rows)%rows)*cols + x
+		south := ((y+1)%rows)*cols + x
+		t.addChannel(id, east, DirEast)
+		t.addChannel(id, west, DirWest)
+		t.addChannel(id, north, DirNorth)
+		t.addChannel(id, south, DirSouth)
+	}
+	return t, nil
+}
+
+// MustTorus is NewTorus that panics on error.
+func MustTorus(cols, rows int) *Torus {
+	t, err := NewTorus(cols, rows)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Cols returns the number of columns.
+func (t *Torus) Cols() int { return t.cols }
+
+// Rows returns the number of rows.
+func (t *Torus) Rows() int { return t.rows }
+
+// Coord returns the (x, y) grid coordinates of node id.
+func (t *Torus) Coord(id int) (x, y int) { return id % t.cols, id / t.cols }
+
+// Distance returns the shortest-path distance with wraparound:
+// min(dx, m-dx) + min(dy, n-dy).
+func (t *Torus) Distance(a, b int) int {
+	ax, ay := t.Coord(a)
+	bx, by := t.Coord(b)
+	dx := abs(ax - bx)
+	if w := t.cols - dx; w < dx {
+		dx = w
+	}
+	dy := abs(ay - by)
+	if w := t.rows - dy; w < dy {
+		dy = w
+	}
+	return dx + dy
+}
+
+// Diameter returns floor(m/2) + floor(n/2).
+func (t *Torus) Diameter() int { return t.cols/2 + t.rows/2 }
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// ChordalRing is an N-node ring augmented with chords of a fixed stride:
+// node i additionally links to (i + stride) mod N. Spidergon is the
+// chordal ring with stride N/2 (each chord then serves both directions,
+// so Spidergon keeps degree 3 where a general chordal ring has degree 4).
+type ChordalRing struct {
+	*graph
+	stride int
+}
+
+// NewChordalRing builds an N-node chordal ring with the given stride.
+// Requirements: n >= 5, 2 <= stride <= n-2, and stride != n/2 (use
+// NewSpidergon for the symmetric case — the construction differs: the
+// half-stride chord is a single bidirectional link, not two).
+func NewChordalRing(n, stride int) (*ChordalRing, error) {
+	if n < 5 {
+		return nil, fmt.Errorf("topology: chordal ring needs n >= 5, got %d", n)
+	}
+	if stride < 2 || stride > n-2 {
+		return nil, fmt.Errorf("topology: chord stride %d out of range for n=%d", stride, n)
+	}
+	if n%2 == 0 && stride == n/2 {
+		return nil, fmt.Errorf("topology: stride n/2 is the Spidergon; use NewSpidergon(%d)", n)
+	}
+	g := newGraph(fmt.Sprintf("chordal-%d+%d", n, stride), n)
+	for i := 0; i < n; i++ {
+		g.addChannel(i, (i+1)%n, DirClockwise)
+		g.addChannel(i, (i-1+n)%n, DirCounterClockwise)
+	}
+	// Chords as bidirectional links (a forward and a reverse channel per
+	// chord), added after ring channels so ring channel ids stay aligned
+	// with plain rings of the same size.
+	for i := 0; i < n; i++ {
+		g.addLink(i, (i+stride)%n, DirChord)
+	}
+	return &ChordalRing{graph: g, stride: stride}, nil
+}
+
+// MustChordalRing is NewChordalRing that panics on error.
+func MustChordalRing(n, stride int) *ChordalRing {
+	c, err := NewChordalRing(n, stride)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Stride returns the chord stride.
+func (c *ChordalRing) Stride() int { return c.stride }

@@ -1,0 +1,180 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mesh is the m×n 2D mesh (figure 1.c of the paper): nodes are laid out
+// row-major on a grid of m columns and n rows, with bidirectional links
+// between horizontal and vertical neighbours. Corner nodes have degree
+// 2, edge nodes 3, interior nodes 4. Link count is 2(m-1)n + 2(n-1)m.
+//
+// The same type also models the paper's *irregular* ("real") meshes:
+// grids whose last row is only partially filled, which arise when N is
+// not a product of two balanced factors. Construct those with
+// NewIrregularMesh.
+type Mesh struct {
+	*graph
+	cols, rows int
+	lastRow    int // nodes present in the final row (== cols when full)
+}
+
+// NewMesh builds a full m-column × n-row mesh. Both dimensions must be
+// positive and the total node count at least 2.
+func NewMesh(cols, rows int) (*Mesh, error) {
+	if cols < 1 || rows < 1 || cols*rows < 2 {
+		return nil, fmt.Errorf("topology: invalid mesh %dx%d", cols, rows)
+	}
+	return buildMesh(fmt.Sprintf("mesh-%dx%d", cols, rows), cols, rows, cols)
+}
+
+// MustMesh is NewMesh that panics on error.
+func MustMesh(cols, rows int) *Mesh {
+	m, err := NewMesh(cols, rows)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NewIrregularMesh builds the paper's "real mesh" on exactly n nodes:
+// the most balanced grid that covers n, with the last row partially
+// filled. Columns = round(√n) (adjusted so the last row is non-empty),
+// rows = ceil(n/columns). For n a perfect square this is the ideal
+// √n×√n mesh.
+func NewIrregularMesh(n int) (*Mesh, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: irregular mesh needs n >= 2, got %d", n)
+	}
+	cols := int(math.Round(math.Sqrt(float64(n))))
+	if cols < 1 {
+		cols = 1
+	}
+	rows := (n + cols - 1) / cols
+	last := n - cols*(rows-1)
+	name := fmt.Sprintf("imesh-%d(%dx%d+%d)", n, cols, rows-1, last)
+	if last == cols {
+		name = fmt.Sprintf("imesh-%d(%dx%d)", n, cols, rows)
+	}
+	return buildMesh(name, cols, rows, last)
+}
+
+// MustIrregularMesh is NewIrregularMesh that panics on error.
+func MustIrregularMesh(n int) *Mesh {
+	m, err := NewIrregularMesh(n)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NewFactorMesh builds the most balanced full m×n mesh with m*n == n
+// nodes exactly: cols is the largest divisor of n not exceeding √n.
+// Prime n degenerates to a 1×n chain — exactly the unpredictability the
+// paper attributes to real mesh implementations.
+func NewFactorMesh(n int) (*Mesh, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: factor mesh needs n >= 2, got %d", n)
+	}
+	best := 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			best = d
+		}
+	}
+	return NewMesh(best, n/best)
+}
+
+// MustFactorMesh is NewFactorMesh that panics on error.
+func MustFactorMesh(n int) *Mesh {
+	m, err := NewFactorMesh(n)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// buildMesh constructs a grid with `last` nodes in the final row.
+func buildMesh(name string, cols, rows, last int) (*Mesh, error) {
+	if last < 1 || last > cols {
+		return nil, fmt.Errorf("topology: invalid last row size %d for %d columns", last, cols)
+	}
+	n := cols*(rows-1) + last
+	if n < 2 {
+		return nil, fmt.Errorf("topology: mesh with %d nodes is degenerate", n)
+	}
+	m := &Mesh{graph: newGraph(name, n), cols: cols, rows: rows, lastRow: last}
+	// Per-node channel order: [east, west, north, south] with absent
+	// directions skipped — deterministic for routing-table indexing.
+	for id := 0; id < n; id++ {
+		x, y := m.Coord(id)
+		if e, ok := m.nodeAt(x+1, y); ok {
+			m.addChannel(id, e, DirEast)
+		}
+		if w, ok := m.nodeAt(x-1, y); ok {
+			m.addChannel(id, w, DirWest)
+		}
+		if nn, ok := m.nodeAt(x, y-1); ok {
+			m.addChannel(id, nn, DirNorth)
+		}
+		if s, ok := m.nodeAt(x, y+1); ok {
+			m.addChannel(id, s, DirSouth)
+		}
+	}
+	return m, nil
+}
+
+// Cols returns the number of grid columns (m in the paper's m×n).
+func (m *Mesh) Cols() int { return m.cols }
+
+// Rows returns the number of grid rows, counting a partial last row.
+func (m *Mesh) Rows() int { return m.rows }
+
+// LastRowNodes returns how many nodes the final row holds.
+func (m *Mesh) LastRowNodes() int { return m.lastRow }
+
+// Irregular reports whether the last row is partial.
+func (m *Mesh) Irregular() bool { return m.lastRow != m.cols }
+
+// Coord returns the (x, y) grid coordinates of a node id. x is the
+// column (0-based, increasing east), y the row (0-based, increasing
+// south), matching the paper's figure 1.c numbering.
+func (m *Mesh) Coord(id int) (x, y int) {
+	return id % m.cols, id / m.cols
+}
+
+// NodeAt returns the node id at grid position (x, y), with ok=false
+// outside the (possibly irregular) grid.
+func (m *Mesh) NodeAt(x, y int) (int, bool) { return m.nodeAt(x, y) }
+
+func (m *Mesh) nodeAt(x, y int) (int, bool) {
+	if x < 0 || x >= m.cols || y < 0 || y >= m.rows {
+		return -1, false
+	}
+	if y == m.rows-1 && x >= m.lastRow {
+		return -1, false
+	}
+	return y*m.cols + x, true
+}
+
+// Distance returns the Manhattan distance between two nodes. For a full
+// mesh this is the exact shortest-path distance; for an irregular mesh
+// it is a lower bound (the true distance may be one or two hops longer
+// when a path must detour around the missing corner).
+func (m *Mesh) Distance(a, b int) int {
+	ax, ay := m.Coord(a)
+	bx, by := m.Coord(b)
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Diameter returns (m-1)+(n-1) for a full mesh, the paper's ND=(m+n-2).
+// For irregular meshes use the exact BFS metric in this package instead.
+func (m *Mesh) Diameter() int { return (m.cols - 1) + (m.rows - 1) }

@@ -1,0 +1,60 @@
+package topology
+
+import "fmt"
+
+// Ring is the N-node bidirectional ring (figure 1.b of the paper): node
+// i connects clockwise to (i+1) mod N and counterclockwise to (i-1) mod
+// N. Every node has degree 2 and the topology is vertex- and
+// edge-transitive. Link count is 2N.
+type Ring struct {
+	*graph
+}
+
+// NewRing builds an N-node ring. N must be at least 3 so that the
+// clockwise and counterclockwise neighbours are distinct (N=2 would
+// create a doubled link, which the paper's ring model does not have).
+func NewRing(n int) (*Ring, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topology: ring needs n >= 3, got %d", n)
+	}
+	g := newGraph(fmt.Sprintf("ring-%d", n), n)
+	// One clockwise and one counterclockwise channel per node. Adding
+	// per-node (rather than per-link) keeps Out() ordering uniform:
+	// [cw, ccw] at every node.
+	for i := 0; i < n; i++ {
+		g.addChannel(i, (i+1)%n, DirClockwise)
+		g.addChannel(i, (i-1+n)%n, DirCounterClockwise)
+	}
+	return &Ring{graph: g}, nil
+}
+
+// MustRing is NewRing that panics on error, for tests and tables.
+func MustRing(n int) *Ring {
+	r, err := NewRing(n)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Distance returns the shortest-path hop distance between nodes a and b:
+// min(|a-b|, N-|a-b|).
+func (r *Ring) Distance(a, b int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if alt := r.n - d; alt < d {
+		return alt
+	}
+	return d
+}
+
+// ClockwiseDistance returns the hop count from a to b moving clockwise
+// only.
+func (r *Ring) ClockwiseDistance(a, b int) int {
+	return ((b-a)%r.n + r.n) % r.n
+}
+
+// Diameter returns floor(N/2), the paper's ND for a ring.
+func (r *Ring) Diameter() int { return r.n / 2 }

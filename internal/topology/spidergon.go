@@ -1,0 +1,79 @@
+package topology
+
+import "fmt"
+
+// Spidergon is the STMicroelectronics Spidergon topology (figure 1.a of
+// the paper): an N-node ring (N even) enriched with across links between
+// opposite nodes, i.e. node i additionally connects to i + N/2 (mod N).
+//
+// Properties highlighted by the paper: regular topology, vertex
+// symmetry (the topology looks identical from every node),
+// edge-transitivity, and constant node degree 3 (clockwise,
+// counterclockwise, across), which keeps router hardware simple. Link
+// count is 3N.
+type Spidergon struct {
+	*graph
+	half int
+}
+
+// NewSpidergon builds an N-node Spidergon. N must be even (so every node
+// has an opposite) and at least 4 (below that the across neighbour would
+// coincide with a ring neighbour, creating a parallel edge).
+func NewSpidergon(n int) (*Spidergon, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("topology: spidergon needs n >= 4, got %d", n)
+	}
+	if n%2 != 0 {
+		return nil, fmt.Errorf("topology: spidergon needs even n, got %d", n)
+	}
+	g := newGraph(fmt.Sprintf("spidergon-%d", n), n)
+	half := n / 2
+	// Out() ordering at every node: [cw, ccw, across].
+	for i := 0; i < n; i++ {
+		g.addChannel(i, (i+1)%n, DirClockwise)
+		g.addChannel(i, (i-1+n)%n, DirCounterClockwise)
+		g.addChannel(i, (i+half)%n, DirAcross)
+	}
+	return &Spidergon{graph: g, half: half}, nil
+}
+
+// MustSpidergon is NewSpidergon that panics on error.
+func MustSpidergon(n int) *Spidergon {
+	s, err := NewSpidergon(n)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Across returns the node opposite to i on the ring.
+func (s *Spidergon) Across(i int) int { return (i + s.half) % s.n }
+
+// RingDistance returns the ring-only shortest distance between a and b,
+// ignoring across links.
+func (s *Spidergon) RingDistance(a, b int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if alt := s.n - d; alt < d {
+		return alt
+	}
+	return d
+}
+
+// Distance returns the shortest-path hop distance between a and b using
+// the across-first structure: if the ring distance exceeds N/4 the
+// shortest route crosses once and then travels the ring, otherwise it
+// stays on the ring.
+func (s *Spidergon) Distance(a, b int) int {
+	ringD := s.RingDistance(a, b)
+	crossD := 1 + s.RingDistance(s.Across(a), b)
+	if crossD < ringD {
+		return crossD
+	}
+	return ringD
+}
+
+// Diameter returns ceiling(N/4), the paper's ND for Spidergon.
+func (s *Spidergon) Diameter() int { return (s.n + 3) / 4 }

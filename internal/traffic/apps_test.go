@@ -1,0 +1,219 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"gonoc/internal/noc"
+	"gonoc/internal/routing"
+	"gonoc/internal/sim"
+	"gonoc/internal/stats"
+	"gonoc/internal/topology"
+)
+
+func buildMeshNet(t *testing.T, cols, rows int) *noc.Network {
+	t.Helper()
+	m := topology.MustMesh(cols, rows)
+	net, err := noc.NewNetwork(m, routing.NewMeshXY(m), noc.DefaultConfig(), stats.NewCollector(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestRequestReplyValidation(t *testing.T) {
+	net := buildNet(t, 8)
+	k := sim.NewKernel()
+	if _, err := NewRequestReply(k, net, nil, []int{0}, 0.01, 1); err == nil {
+		t.Fatal("no masters accepted")
+	}
+	if _, err := NewRequestReply(k, net, []int{1}, nil, 0.01, 1); err == nil {
+		t.Fatal("no slaves accepted")
+	}
+	if _, err := NewRequestReply(k, net, []int{1}, []int{1}, 0.01, 1); err == nil {
+		t.Fatal("overlapping master/slave accepted")
+	}
+	if _, err := NewRequestReply(k, net, []int{1}, []int{0}, 0, 1); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := NewRequestReply(k, net, []int{99}, []int{0}, 0.01, 1); err == nil {
+		t.Fatal("out-of-range master accepted")
+	}
+	if _, err := NewRequestReply(k, net, []int{1}, []int{99}, 0.01, 1); err == nil {
+		t.Fatal("out-of-range slave accepted")
+	}
+}
+
+func TestRequestReplyTransactions(t *testing.T) {
+	net := buildNet(t, 8)
+	k := sim.NewKernel()
+	// Nodes 1..7 are masters, node 0 is the memory-controller slave —
+	// the closed-loop version of the paper's hot-spot scenario.
+	masters := []int{1, 2, 3, 4, 5, 6, 7}
+	rr, err := NewRequestReply(k, net, masters, []int{0}, 0.005, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Start()
+	tick := sim.NewTicker(k, 1)
+	tick.OnTick(func(uint64) { net.Step() })
+	tick.Start()
+	k.RunUntil(20000)
+	if rr.Requests() == 0 {
+		t.Fatal("no requests")
+	}
+	if rr.Replies() == 0 {
+		t.Fatal("no replies")
+	}
+	if rr.Replies() > rr.Requests() {
+		t.Fatalf("replies %d exceed requests %d", rr.Replies(), rr.Requests())
+	}
+	done := rr.CompletedTransactions()
+	if done == 0 {
+		t.Fatal("no completed round trips")
+	}
+	// Round trip must exceed twice the one-way floor (1 hop minimum +
+	// serialization each way).
+	if mean := rr.RoundTrip().Mean(); mean < 14 {
+		t.Fatalf("round trip mean %v below physical floor", mean)
+	}
+	// Low load: nearly all requests complete by the horizon.
+	if float64(done) < 0.9*float64(rr.Requests()) {
+		t.Fatalf("only %d of %d transactions completed", done, rr.Requests())
+	}
+}
+
+func TestRequestReplyDeterminism(t *testing.T) {
+	run := func() (uint64, float64) {
+		net := buildNet(t, 8)
+		k := sim.NewKernel()
+		rr, err := NewRequestReply(k, net, []int{1, 2, 3}, []int{0, 4}, 0.01, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr.Start()
+		tick := sim.NewTicker(k, 1)
+		tick.OnTick(func(uint64) { net.Step() })
+		tick.Start()
+		k.RunUntil(8000)
+		return rr.CompletedTransactions(), rr.RoundTrip().Mean()
+	}
+	c1, m1 := run()
+	c2, m2 := run()
+	if c1 != c2 || m1 != m2 {
+		t.Fatal("request-reply not deterministic")
+	}
+}
+
+func TestRequestReplyStartTwicePanics(t *testing.T) {
+	net := buildNet(t, 8)
+	k := sim.NewKernel()
+	rr, _ := NewRequestReply(k, net, []int{1}, []int{0}, 0.01, 1)
+	rr.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double start did not panic")
+		}
+	}()
+	rr.Start()
+}
+
+func TestOnOffValidation(t *testing.T) {
+	bad := []OnOff{
+		{PeakRate: 0, OnMean: 10, OffMean: 10},
+		{PeakRate: 0.1, OnMean: 0, OffMean: 10},
+		{PeakRate: 0.1, OnMean: 10, OffMean: -1},
+	}
+	for i, o := range bad {
+		if o.Validate() == nil {
+			t.Errorf("bad shape %d validated", i)
+		}
+	}
+	good := OnOff{PeakRate: 0.2, OnMean: 50, OffMean: 150}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := good.MeanRate(); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("mean rate = %v, want 0.05", got)
+	}
+}
+
+func TestOnOffGeneratorMeanRate(t *testing.T) {
+	net := buildMeshNet(t, 4, 4)
+	k := sim.NewKernel()
+	shape := OnOff{PeakRate: 0.08, OnMean: 100, OffMean: 300} // mean 0.02
+	g, err := NewOnOffGenerator(k, net, Uniform{N: 16}, shape, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	tick := sim.NewTicker(k, 1)
+	tick.OnTick(func(uint64) { net.Step() })
+	tick.Start()
+	const horizon = 120000
+	k.RunUntil(horizon)
+	got := float64(g.OfferedPackets()) / horizon / 16
+	want := shape.MeanRate()
+	if math.Abs(got-want) > 0.25*want {
+		t.Fatalf("offered rate %v, want ≈ %v", got, want)
+	}
+}
+
+func TestOnOffGeneratorRejectsBadShape(t *testing.T) {
+	net := buildMeshNet(t, 2, 2)
+	if _, err := NewOnOffGenerator(sim.NewKernel(), net, Uniform{N: 4}, OnOff{}, 1); err == nil {
+		t.Fatal("invalid shape accepted")
+	}
+}
+
+func TestOnOffBurstierThanPoisson(t *testing.T) {
+	// Same mean rate, same network: the bursty source produces a higher
+	// p95 latency than the smooth Poisson source.
+	mean := 0.02
+	runPoisson := func() float64 {
+		net := buildMeshNet(t, 4, 4)
+		k := sim.NewKernel()
+		g, err := NewGenerator(k, net, Uniform{N: 16}, Poisson, mean, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Start()
+		tick := sim.NewTicker(k, 1)
+		tick.OnTick(func(uint64) { net.Step() })
+		tick.Start()
+		k.RunUntil(60000)
+		return net.Collector().LatencyQuantile(0.95)
+	}
+	runBursty := func() float64 {
+		net := buildMeshNet(t, 4, 4)
+		k := sim.NewKernel()
+		shape := OnOff{PeakRate: 0.2, OnMean: 60, OffMean: 540} // mean 0.02
+		g, err := NewOnOffGenerator(k, net, Uniform{N: 16}, shape, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Start()
+		tick := sim.NewTicker(k, 1)
+		tick.OnTick(func(uint64) { net.Step() })
+		tick.Start()
+		k.RunUntil(60000)
+		return net.Collector().LatencyQuantile(0.95)
+	}
+	smooth, bursty := runPoisson(), runBursty()
+	if bursty <= smooth {
+		t.Fatalf("bursty p95 %v not above smooth p95 %v", bursty, smooth)
+	}
+}
+
+func TestOnOffStartTwicePanics(t *testing.T) {
+	net := buildMeshNet(t, 2, 2)
+	k := sim.NewKernel()
+	g, _ := NewOnOffGenerator(k, net, Uniform{N: 4}, OnOff{PeakRate: 0.1, OnMean: 10, OffMean: 10}, 1)
+	g.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double start did not panic")
+		}
+	}()
+	g.Start()
+}

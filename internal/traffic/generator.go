@@ -1,0 +1,219 @@
+package traffic
+
+import (
+	"fmt"
+	"sort"
+
+	"gonoc/internal/noc"
+	"gonoc/internal/sim"
+)
+
+// Generator drives a network with stochastic packet arrivals. Each
+// source node runs an independent arrival process on the event kernel:
+// Poisson (exponential interarrivals with rate λ packets/cycle, the
+// paper's source model) or Bernoulli (one arrival per cycle with
+// probability λ). Every node draws from its own RNG stream, so results
+// are reproducible and independent of node count changes elsewhere.
+type Generator struct {
+	kernel  *sim.Kernel
+	net     *noc.Network
+	pattern Pattern
+	process Process
+	rates   []float64
+	rngs    []*sim.RNG
+	offered uint64
+	started bool
+}
+
+// Process selects the interarrival model.
+type Process int
+
+// Available arrival processes.
+const (
+	// Poisson uses exponential interarrival times — the paper's
+	// "Poisson interarrival distribution ... with variable parameter
+	// Lambda".
+	Poisson Process = iota
+	// Bernoulli flips one coin per cycle per source.
+	Bernoulli
+)
+
+// NewGenerator builds a generator for net on kernel k with the given
+// pattern, per-source rate (packets/cycle) and master seed.
+func NewGenerator(k *sim.Kernel, net *noc.Network, p Pattern, proc Process, rate float64, seed uint64) (*Generator, error) {
+	if rate < 0 {
+		return nil, fmt.Errorf("traffic: negative rate %v", rate)
+	}
+	n := net.Topology().Nodes()
+	g := &Generator{
+		kernel:  k,
+		net:     net,
+		pattern: p,
+		process: proc,
+		rates:   make([]float64, n),
+		rngs:    make([]*sim.RNG, n),
+	}
+	master := sim.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		g.rates[i] = rate
+		g.rngs[i] = master.Split()
+	}
+	return g, nil
+}
+
+// SetRate overrides the packet rate of one source before Start.
+func (g *Generator) SetRate(node int, rate float64) {
+	if g.started {
+		panic("traffic: SetRate after Start")
+	}
+	g.rates[node] = rate
+}
+
+// Rate returns node's configured packet rate.
+func (g *Generator) Rate(node int) float64 { return g.rates[node] }
+
+// OfferedPackets returns the number of packets generated so far.
+func (g *Generator) OfferedPackets() uint64 { return g.offered }
+
+// OfferedFlitRate returns the configured aggregate offered load in
+// flits/cycle (sum of source rates times packet length).
+func (g *Generator) OfferedFlitRate() float64 {
+	sum := 0.0
+	for node, r := range g.rates {
+		if _, ok := g.pattern.Destination(node, sim.NewRNG(0)); ok {
+			sum += r
+		}
+	}
+	return sum * float64(g.net.Config().PacketLen)
+}
+
+// Start schedules the first arrival of every source. Call once, before
+// running the kernel.
+func (g *Generator) Start() {
+	if g.started {
+		panic("traffic: generator started twice")
+	}
+	g.started = true
+	for node := range g.rates {
+		if g.rates[node] <= 0 {
+			continue
+		}
+		if _, ok := g.pattern.Destination(node, g.rngs[node].Split()); !ok {
+			continue // not a source under this pattern
+		}
+		switch g.process {
+		case Poisson:
+			g.schedulePoisson(node)
+		case Bernoulli:
+			g.scheduleBernoulli(node)
+		default:
+			panic(fmt.Sprintf("traffic: unknown process %d", g.process))
+		}
+	}
+}
+
+func (g *Generator) schedulePoisson(node int) {
+	r := g.rngs[node]
+	var arrive func()
+	arrive = func() {
+		g.emit(node, r)
+		g.kernel.ScheduleAfter(sim.Time(r.Exp(g.rates[node])), arrive)
+	}
+	g.kernel.ScheduleAfter(sim.Time(r.Exp(g.rates[node])), arrive)
+}
+
+func (g *Generator) scheduleBernoulli(node int) {
+	r := g.rngs[node]
+	var tick func()
+	tick = func() {
+		if r.Bernoulli(g.rates[node]) {
+			g.emit(node, r)
+		}
+		g.kernel.ScheduleAfter(1, tick)
+	}
+	g.kernel.ScheduleAfter(1, tick)
+}
+
+func (g *Generator) emit(node int, r *sim.RNG) {
+	dst, ok := g.pattern.Destination(node, r)
+	if !ok || dst == node {
+		return
+	}
+	g.offered++
+	// The source queue is unbounded by default; a bounded queue drops
+	// the arrival, which is the open-loop interpretation of a full IP
+	// memory.
+	_ = g.net.Inject(node, dst)
+}
+
+// Trace is a deterministic, replayable record of packet creations.
+type Trace struct {
+	Events []TraceEvent
+}
+
+// TraceEvent is one packet creation.
+type TraceEvent struct {
+	Cycle    uint64
+	Src, Dst int
+}
+
+// Record produces a trace of n.Pattern-driven arrivals without running
+// a network: useful for replaying identical workloads across topologies
+// of the same node count.
+func Record(p Pattern, proc Process, rate float64, nodes int, cycles uint64, seed uint64) *Trace {
+	tr := &Trace{}
+	master := sim.NewRNG(seed)
+	for node := 0; node < nodes; node++ {
+		r := master.Split()
+		if _, ok := p.Destination(node, r.Split()); !ok {
+			continue
+		}
+		switch proc {
+		case Poisson:
+			t := r.Exp(rate)
+			for uint64(t) < cycles {
+				if dst, ok := p.Destination(node, r); ok && dst != node {
+					tr.Events = append(tr.Events, TraceEvent{Cycle: uint64(t), Src: node, Dst: dst})
+				}
+				t += r.Exp(rate)
+			}
+		case Bernoulli:
+			for c := uint64(0); c < cycles; c++ {
+				if r.Bernoulli(rate) {
+					if dst, ok := p.Destination(node, r); ok && dst != node {
+						tr.Events = append(tr.Events, TraceEvent{Cycle: c, Src: node, Dst: dst})
+					}
+				}
+			}
+		}
+	}
+	sortTrace(tr.Events)
+	return tr
+}
+
+// sortTrace orders events by (cycle, src, dst) for deterministic replay.
+func sortTrace(ev []TraceEvent) {
+	sort.Slice(ev, func(i, j int) bool {
+		a, b := ev[i], ev[j]
+		if a.Cycle != b.Cycle {
+			return a.Cycle < b.Cycle
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Dst < b.Dst
+	})
+}
+
+// Replay schedules the trace's events on kernel k against net. Events
+// whose endpoints exceed the network size are skipped.
+func (t *Trace) Replay(k *sim.Kernel, net *noc.Network) {
+	n := net.Topology().Nodes()
+	for _, e := range t.Events {
+		if e.Src >= n || e.Dst >= n || e.Src == e.Dst {
+			continue
+		}
+		e := e
+		k.Schedule(sim.Time(e.Cycle), func() { _ = net.Inject(e.Src, e.Dst) })
+	}
+}

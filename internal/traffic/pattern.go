@@ -1,0 +1,198 @@
+// Package traffic generates the offered load for the NoC simulations:
+// destination patterns (uniform, single and double hot-spot — the
+// paper's three scenarios — plus the classic permutation patterns) and
+// injection processes (Poisson, as in the paper, and Bernoulli),
+// driven through the discrete-event kernel so arrivals fall at
+// fractional times between clock ticks exactly as in an OMNeT++ model.
+package traffic
+
+import (
+	"fmt"
+
+	"gonoc/internal/sim"
+	"gonoc/internal/topology"
+)
+
+// Pattern chooses a destination for each generated packet.
+type Pattern interface {
+	// Name identifies the pattern, e.g. "uniform" or "hotspot[3]".
+	Name() string
+	// Destination returns the destination node for a packet created at
+	// src. ok is false when src is not a traffic source under this
+	// pattern (e.g. hot-spot targets do not send).
+	Destination(src int, r *sim.RNG) (dst int, ok bool)
+	// Sources returns the number of sending nodes under this pattern
+	// in a network of n nodes.
+	Sources(n int) int
+}
+
+// Uniform sends from every node to a uniformly random other node — the
+// paper's "homogeneous sources/destinations scenario": "all the nodes
+// behave like sources and can be addressed as destination for packets,
+// with uniform probability distribution".
+type Uniform struct {
+	// N is the number of nodes.
+	N int
+}
+
+// Name returns "uniform".
+func (u Uniform) Name() string { return "uniform" }
+
+// Destination draws uniformly among the other N-1 nodes.
+func (u Uniform) Destination(src int, r *sim.RNG) (int, bool) {
+	if u.N < 2 {
+		return 0, false
+	}
+	d := r.Intn(u.N - 1)
+	if d >= src {
+		d++
+	}
+	return d, true
+}
+
+// Sources returns n: every node sends.
+func (u Uniform) Sources(n int) int { return n }
+
+// HotSpot sends every packet to one of a fixed set of target nodes —
+// the paper's single (one target) and double (two targets) hot-spot
+// scenarios. Targets do not generate traffic; every other node does,
+// picking uniformly among the targets.
+type HotSpot struct {
+	Targets []int
+	N       int
+}
+
+// Name returns "hotspot[t0,t1,...]".
+func (h HotSpot) Name() string { return fmt.Sprintf("hotspot%v", h.Targets) }
+
+// Destination sends to a uniformly chosen target; targets themselves
+// are silent.
+func (h HotSpot) Destination(src int, r *sim.RNG) (int, bool) {
+	for _, t := range h.Targets {
+		if src == t {
+			return 0, false
+		}
+	}
+	if len(h.Targets) == 0 {
+		return 0, false
+	}
+	if len(h.Targets) == 1 {
+		return h.Targets[0], true
+	}
+	return h.Targets[r.Intn(len(h.Targets))], true
+}
+
+// Sources returns n minus the number of (in-range) targets.
+func (h HotSpot) Sources(n int) int {
+	s := n
+	for _, t := range h.Targets {
+		if t >= 0 && t < n {
+			s--
+		}
+	}
+	return s
+}
+
+// Permutation sends every packet from node i to a fixed partner π(i).
+// Nodes whose partner is themselves are silent.
+type Permutation struct {
+	name string
+	perm []int
+}
+
+// NewPermutation builds a fixed-partner pattern; perm must map every
+// node to a node in range.
+func NewPermutation(name string, perm []int) (*Permutation, error) {
+	for i, p := range perm {
+		if p < 0 || p >= len(perm) {
+			return nil, fmt.Errorf("traffic: permutation %s maps %d to out-of-range %d", name, i, p)
+		}
+	}
+	return &Permutation{name: name, perm: perm}, nil
+}
+
+// Name returns the permutation's name.
+func (p *Permutation) Name() string { return p.name }
+
+// Destination returns the fixed partner of src.
+func (p *Permutation) Destination(src int, r *sim.RNG) (int, bool) {
+	if src < 0 || src >= len(p.perm) || p.perm[src] == src {
+		return 0, false
+	}
+	return p.perm[src], true
+}
+
+// Sources counts nodes with a partner other than themselves.
+func (p *Permutation) Sources(n int) int {
+	s := 0
+	for i, d := range p.perm {
+		if i < n && d != i {
+			s++
+		}
+	}
+	return s
+}
+
+// BitComplement returns the permutation i -> complement of i's bits
+// within the smallest power of two covering n (out-of-range partners
+// fall back to n-1-i, keeping the pattern total).
+func BitComplement(n int) *Permutation {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = n - 1 - i
+	}
+	p, _ := NewPermutation("bit-complement", perm)
+	return p
+}
+
+// Transpose returns the mesh transpose permutation (x,y) -> (y,x) for a
+// square mesh; non-square meshes get an error.
+func Transpose(m *topology.Mesh) (*Permutation, error) {
+	if m.Cols() != m.Rows() || m.Irregular() {
+		return nil, fmt.Errorf("traffic: transpose needs a full square mesh, got %s", m.Name())
+	}
+	perm := make([]int, m.Nodes())
+	for id := range perm {
+		x, y := m.Coord(id)
+		t, _ := m.NodeAt(y, x)
+		perm[id] = t
+	}
+	return NewPermutation("transpose", perm)
+}
+
+// NeighborRing returns the permutation i -> (i+stride) mod n, a
+// nearest-neighbour pattern on ring-like topologies.
+func NeighborRing(n, stride int) *Permutation {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = ((i+stride)%n + n) % n
+	}
+	p, _ := NewPermutation(fmt.Sprintf("neighbor+%d", stride), perm)
+	return p
+}
+
+// BitReverse returns the bit-reversal permutation over the number of
+// bits needed for n-1; partners that land out of range stay put
+// (silent).
+func BitReverse(n int) *Permutation {
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		r := 0
+		for b := 0; b < bits; b++ {
+			if i&(1<<b) != 0 {
+				r |= 1 << (bits - 1 - b)
+			}
+		}
+		if r < n {
+			perm[i] = r
+		} else {
+			perm[i] = i
+		}
+	}
+	p, _ := NewPermutation("bit-reverse", perm)
+	return p
+}
