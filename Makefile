@@ -1,0 +1,29 @@
+# Targets mirror .github/workflows/ci.yml step for step, so local runs
+# and CI stay identical.
+
+GO ?= go
+
+.PHONY: all build test vet fmt fmt-check bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+ci: build vet fmt-check test bench

@@ -21,19 +21,20 @@ import (
 
 func main() {
 	var (
-		fig     = flag.Int("fig", 0, "figure number (2,3,5,6,7,8,9,10,11); 0 = all")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		plot    = flag.Bool("plot", false, "render an ASCII chart instead of a table")
-		sizes   = flag.String("sizes", "", "comma-separated node counts (default 8,16,24,32)")
-		warmup  = flag.Uint64("warmup", 0, "warm-up cycles per run (default 2000)")
-		measure = flag.Uint64("measure", 0, "measured cycles per run (default 20000)")
-		seed    = flag.Uint64("seed", 0, "master seed (default 1)")
-		minN    = flag.Int("minN", 4, "smallest N for analytic figures 2-3")
-		maxN    = flag.Int("maxN", 64, "largest N for analytic figures 2-3")
+		fig      = flag.Int("fig", 0, "figure number (2,3,5,6,7,8,9,10,11); 0 = all")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		plot     = flag.Bool("plot", false, "render an ASCII chart instead of a table")
+		sizes    = flag.String("sizes", "", "comma-separated node counts (default 8,16,24,32)")
+		warmup   = flag.Uint64("warmup", 0, "warm-up cycles per run (default 2000)")
+		measure  = flag.Uint64("measure", 0, "measured cycles per run (default 20000)")
+		seed     = flag.Uint64("seed", 0, "master seed (default 1)")
+		minN     = flag.Int("minN", 4, "smallest N for analytic figures 2-3")
+		maxN     = flag.Int("maxN", 64, "largest N for analytic figures 2-3")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	opts := core.FigureOpts{Warmup: *warmup, Measure: *measure, Seed: *seed}
+	opts := core.FigureOpts{Warmup: *warmup, Measure: *measure, Seed: *seed, Parallel: *parallel}
 	if *sizes != "" {
 		for _, p := range strings.Split(*sizes, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(p))

@@ -1,16 +1,19 @@
-// Command nocsweep sweeps injection rate for one scenario family and
-// prints a throughput/latency table (or CSV), plus the measured
-// saturation point. It is the workhorse behind custom versions of the
-// paper's Figures 6-11.
+// Command nocsweep runs an injection-rate campaign over one or more
+// topologies and prints a throughput/latency table (or CSV), plus the
+// measured saturation point. It is the workhorse behind custom versions
+// of the paper's Figures 6-11, now with replicated runs, confidence
+// intervals, and machine-readable JSONL output.
 //
 // Usage:
 //
 //	nocsweep -topo ring,spidergon,mesh -n 16 -traffic uniform \
 //	         -rates 0.05,0.1,0.2,0.3,0.4 -csv
+//	nocsweep -topo ring,spidergon,mesh -n 16 -reps 5 -out results.jsonl
 //	nocsweep -topo spidergon -n 16 -traffic hotspot -saturation
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,21 +22,25 @@ import (
 
 	"gonoc/internal/analysis"
 	"gonoc/internal/core"
+	"gonoc/internal/exp"
 	"gonoc/internal/stats"
 )
 
 func main() {
 	var (
-		topos   = flag.String("topo", "ring,spidergon,mesh", "comma-separated topology kinds")
-		n       = flag.Int("n", 16, "number of nodes")
-		tk      = flag.String("traffic", "uniform", "traffic: uniform|hotspot")
-		rates   = flag.String("rates", "0.05,0.1,0.15,0.2,0.3,0.4,0.5", "per-source flits/cycle points")
-		csv     = flag.Bool("csv", false, "CSV output")
-		lat     = flag.Bool("latency", false, "report latency instead of throughput")
-		sat     = flag.Bool("saturation", false, "also search the measured saturation rate per topology")
-		warmup  = flag.Uint64("warmup", 1000, "warm-up cycles")
-		measure = flag.Uint64("measure", 10000, "measured cycles")
-		seed    = flag.Uint64("seed", 1, "seed")
+		topos    = flag.String("topo", "ring,spidergon,mesh", "comma-separated topology kinds")
+		ns       = flag.String("n", "16", "comma-separated node counts")
+		tk       = flag.String("traffic", "uniform", "traffic: uniform|hotspot")
+		rates    = flag.String("rates", "0.05,0.1,0.15,0.2,0.3,0.4,0.5", "per-source flits/cycle points")
+		reps     = flag.Int("reps", 1, "replications per point (independent seeds)")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		out      = flag.String("out", "", "write per-run and summary records as JSONL to this file")
+		csv      = flag.Bool("csv", false, "CSV output")
+		lat      = flag.Bool("latency", false, "report latency instead of throughput")
+		sat      = flag.Bool("saturation", false, "also search the measured saturation rate per topology")
+		warmup   = flag.Uint64("warmup", 1000, "warm-up cycles")
+		measure  = flag.Uint64("measure", 10000, "measured cycles")
+		seed     = flag.Uint64("seed", 1, "seed")
 	)
 	flag.Parse()
 
@@ -41,43 +48,103 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	nodes, err := parseInts(*ns)
+	if err != nil {
+		fatal(err)
+	}
+	kinds := make([]core.TopologyKind, 0)
+	for _, kindName := range strings.Split(*topos, ",") {
+		kinds = append(kinds, core.TopologyKind(strings.TrimSpace(kindName)))
+	}
+
+	campaign := exp.Campaign{
+		Name:       "nocsweep",
+		Topologies: kinds,
+		Nodes:      nodes,
+		Traffics:   []exp.TrafficSpec{{Kind: core.TrafficKind(*tk)}},
+		FlitRates:  flitRates,
+		Reps:       *reps,
+		Seed:       *seed,
+		Warmup:     *warmup,
+		Measure:    *measure,
+	}
+
+	var sinks []exp.Sink
+	var outFile *os.File
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		outFile = f
+		sinks = append(sinks, exp.NewJSONLWriter(f))
+	}
+
+	runner := exp.Runner{Parallel: *parallel}
+	aggs, err := runner.Run(context.Background(), campaign, sinks...)
+	if err != nil {
+		fatal(err)
+	}
+	if outFile != nil {
+		// A close error here means the results file is truncated;
+		// exiting 0 would pass the corruption downstream.
+		if err := outFile.Close(); err != nil {
+			fatal(err)
+		}
+	}
 
 	metric := "throughput (flits/cycle)"
 	if *lat {
 		metric = "mean latency (cycles)"
 	}
 	tab := &core.Table{
-		Title: fmt.Sprintf("sweep: %s, N=%d, %s", metric, *n, *tk),
+		Title: fmt.Sprintf("sweep: %s, N=%s, %s, reps=%d", metric, *ns, *tk, *reps),
 		XName: "injection rate (flits/cycle/source)",
 	}
+	series := map[string]*stats.Series{}
+	var order []string
+	for _, a := range aggs {
+		name := fmt.Sprintf("%s-%d", a.Topo, a.Nodes)
+		s, ok := series[name]
+		if !ok {
+			s = &stats.Series{Name: name}
+			series[name] = s
+			order = append(order, name)
+		}
+		m := a.Throughput
+		if *lat {
+			m = a.Latency
+		}
+		s.Append(a.FlitRate, m.Mean)
+	}
+	for _, name := range order {
+		tab.Add(series[name])
+	}
 
-	for _, kindName := range strings.Split(*topos, ",") {
-		kind := core.TopologyKind(strings.TrimSpace(kindName))
-		base := core.NewScenario(kind, *n, core.TrafficKind(*tk), 0)
-		base.Warmup, base.Measure, base.Seed = *warmup, *measure, *seed
-		if base.Traffic == core.HotSpotTraffic {
-			base.HotSpots = []int{core.SingleHotspot(kind, *n, false, 0, 0)}
-		}
-		plen := float64(base.Config.PacketLen)
-		lambdas := make([]float64, len(flitRates))
-		for i, fr := range flitRates {
-			lambdas[i] = fr / plen
-		}
-		results, err := core.Sweep(base, lambdas)
+	if *csv {
+		fmt.Print(tab.CSV())
+	} else {
+		fmt.Println(tab.Text())
+	}
+
+	if *sat {
+		// Reuse the campaign's own scenario resolution (hot-spot
+		// targets included) so the saturation search always probes
+		// exactly what the table measured.
+		pts, err := campaign.Points()
 		if err != nil {
 			fatal(err)
 		}
-		s := &stats.Series{Name: string(kind)}
-		for i, r := range results {
-			y := r.Throughput
-			if *lat {
-				y = r.MeanLatency
+		seen := map[string]bool{}
+		for _, p := range pts {
+			key := fmt.Sprintf("%s-%d", p.Topo, p.Nodes)
+			if seen[key] {
+				continue
 			}
-			s.Append(flitRates[i], y)
-		}
-		tab.Add(s)
-
-		if *sat {
+			seen[key] = true
+			base := p.Scenario
+			base.Seed = *seed
+			plen := float64(base.Config.PacketLen)
 			rate, err := core.FindSaturation(base, 1.0/plen, 0.05, 8)
 			if err != nil {
 				fatal(err)
@@ -87,14 +154,8 @@ func main() {
 				fatal(err)
 			}
 			fmt.Fprintf(os.Stderr, "# %s measured saturation ≈ %.4f flits/cycle/source (analytic uniform bound %.4f)\n",
-				kind, rate*plen, analysis.UniformSaturationBound(topo))
+				key, rate*plen, analysis.UniformSaturationBound(topo))
 		}
-	}
-
-	if *csv {
-		fmt.Print(tab.CSV())
-	} else {
-		fmt.Println(tab.Text())
 	}
 }
 
@@ -105,6 +166,19 @@ func parseFloats(s string) ([]float64, error) {
 		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad rate %q: %v", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad node count %q: %v", p, err)
 		}
 		out = append(out, v)
 	}

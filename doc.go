@@ -7,8 +7,12 @@
 // mesh family, torus, chordal ring), routing algorithms with a
 // channel-dependency-graph deadlock checker, a wormhole-switched
 // flit-level network model, Poisson/hot-spot/uniform traffic
-// generation, and an experiment layer (internal/core) that regenerates
-// every figure of the paper. See README.md for a tour and
+// generation, an experiment layer (internal/core) that regenerates
+// every figure of the paper, and a campaign layer (internal/exp) that
+// expands crossed parameter grids — topology × size × traffic ×
+// injection rate × replications — onto a cancellable worker pool and
+// streams per-run and mean/CI95 summary records to JSONL/CSV sinks,
+// byte-identically at any parallelism. See README.md for a tour and
 // EXPERIMENTS.md for paper-versus-measured results; bench_test.go in
 // this directory holds one benchmark per paper figure.
 package gonoc

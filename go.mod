@@ -1,0 +1,3 @@
+module gonoc
+
+go 1.24

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"gonoc/internal/analysis"
@@ -28,6 +29,14 @@ type FigureOpts struct {
 	Warmup, Measure uint64
 	// Seed derives all run seeds.
 	Seed uint64
+	// Parallel bounds concurrent simulations; <= 0 selects GOMAXPROCS.
+	Parallel int
+}
+
+// sweep runs the figure's scenario batch on the shared worker pool with
+// the options' parallelism.
+func (o FigureOpts) sweep(scenarios []Scenario) ([]Result, error) {
+	return SweepScenariosParallel(context.Background(), scenarios, o.Parallel)
 }
 
 // DefaultFigureOpts returns the ranges used by cmd/nocfigs: the paper's
@@ -171,7 +180,7 @@ func Fig5Validation(o FigureOpts) (*Table, error) {
 			}{kind, n})
 		}
 	}
-	results, err := SweepScenarios(scenarios)
+	results, err := o.sweep(scenarios)
 	if err != nil {
 		return nil, err
 	}
@@ -273,7 +282,7 @@ func hotspotFigure(o FigureOpts, k int, title string, latency bool) (*Table, err
 	for _, c := range curves {
 		all = append(all, c.scenarios...)
 	}
-	results, err := SweepScenarios(all)
+	results, err := o.sweep(all)
 	if err != nil {
 		return nil, err
 	}
@@ -369,7 +378,7 @@ func uniformFigure(o FigureOpts, title string, latency bool) (*Table, error) {
 	for _, c := range curves {
 		all = append(all, c.scenarios...)
 	}
-	results, err := SweepScenarios(all)
+	results, err := o.sweep(all)
 	if err != nil {
 		return nil, err
 	}

@@ -1,11 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"gonoc/internal/analysis"
+	"gonoc/internal/exp/pool"
 	"gonoc/internal/noc"
 	"gonoc/internal/sim"
 	"gonoc/internal/stats"
@@ -139,61 +139,36 @@ func Run(s Scenario) (Result, error) {
 // GOMAXPROCS workers (each run is fully independent and deterministic),
 // returning results in lambda order.
 func Sweep(base Scenario, lambdas []float64) ([]Result, error) {
-	results := make([]Result, len(lambdas))
-	errs := make([]error, len(lambdas))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
+	scenarios := make([]Scenario, len(lambdas))
 	for i, l := range lambdas {
-		i, l := i, l
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			s := base
-			s.Lambda = l
-			results[i], errs[i] = Run(s)
-		}()
+		scenarios[i] = base
+		scenarios[i].Lambda = l
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+	return SweepScenarios(scenarios)
 }
 
 // SweepScenarios runs heterogeneous scenarios in parallel, preserving
 // order.
 func SweepScenarios(scenarios []Scenario) ([]Result, error) {
-	results := make([]Result, len(scenarios))
-	errs := make([]error, len(scenarios))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
-	for i := range scenarios {
-		i := i
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[i], errs[i] = Run(scenarios[i])
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+	return SweepScenariosParallel(context.Background(), scenarios, 0)
 }
 
-func maxParallel() int {
-	p := runtime.GOMAXPROCS(0)
-	if p < 1 {
-		return 1
+// SweepScenariosParallel runs heterogeneous scenarios on the shared
+// experiment worker pool with at most parallel concurrent simulations
+// (<= 0 selects GOMAXPROCS), preserving order. Cancelling ctx stops
+// scheduling new runs.
+func SweepScenariosParallel(ctx context.Context, scenarios []Scenario, parallel int) ([]Result, error) {
+	results := make([]Result, len(scenarios))
+	err := pool.Map(ctx, len(scenarios), parallel, func(_ context.Context, i int) error {
+		r, err := Run(scenarios[i])
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return p
+	return results, nil
 }

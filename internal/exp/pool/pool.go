@@ -1,0 +1,118 @@
+// Package pool provides the shared parallel-execution engine of the
+// experiment layer: a bounded worker pool that runs independent jobs
+// concurrently while delivering their completions to a single consumer
+// in strict index order. Both core's scenario sweeps and exp's campaign
+// runner delegate to it, so every batch of simulations in the module
+// shares one scheduling and cancellation discipline.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Ordered executes run(ctx, 0) … run(ctx, n-1) with at most parallel
+// concurrent workers (parallel <= 0 selects GOMAXPROCS), then calls
+// emit(i) for each successfully completed index, sequentially and in
+// strict ascending order, from a single goroutine. emit(i) is invoked
+// as soon as jobs 0..i have all completed, so results stream to the
+// consumer while later jobs are still running — with identical emission
+// order at any parallelism.
+//
+// The first run error (by index), the first emit error, or the context
+// cancellation — in that priority — is returned, and any of them stops
+// new work from being scheduled. emit may be nil when only the side
+// effects of run matter.
+func Ordered(ctx context.Context, n, parallel int, run func(ctx context.Context, i int) error, emit func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > n {
+		parallel = n
+	}
+	outer := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, n)
+	feed := make(chan int)
+	done := make(chan int)
+
+	go func() {
+		defer close(feed)
+		for i := 0; i < n; i++ {
+			select {
+			case feed <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				errs[i] = run(ctx, i)
+				if errs[i] != nil {
+					cancel()
+				}
+				select {
+				case done <- i:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	// Reorder completions into ascending index order and emit greedily.
+	// Emission halts at the first failed index: a consumer never sees a
+	// gap in the stream.
+	var emitErr error
+	halted := false
+	completed := make(map[int]bool)
+	next := 0
+	for i := range done {
+		completed[i] = true
+		for completed[next] {
+			delete(completed, next)
+			if errs[next] != nil {
+				halted = true
+			}
+			if emit != nil && !halted && emitErr == nil {
+				if err := emit(next); err != nil {
+					emitErr = err
+					cancel()
+				}
+			}
+			next++
+		}
+	}
+
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if emitErr != nil {
+		return emitErr
+	}
+	return outer.Err()
+}
+
+// Map is the barrier form of Ordered: it runs all jobs and returns only
+// after every worker has finished, with no streaming consumer.
+func Map(ctx context.Context, n, parallel int, run func(ctx context.Context, i int) error) error {
+	return Ordered(ctx, n, parallel, run, nil)
+}

@@ -1,0 +1,151 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Completions are emitted in strict index order even when workers
+// finish out of order.
+func TestOrderedEmitsInIndexOrder(t *testing.T) {
+	const n = 64
+	var emitted []int
+	err := Ordered(context.Background(), n, 8,
+		func(_ context.Context, i int) error {
+			// Earlier indices sleep longer, forcing out-of-order completion.
+			time.Sleep(time.Duration((n-i)%7) * time.Millisecond)
+			return nil
+		},
+		func(i int) error {
+			emitted = append(emitted, i)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emitted) != n {
+		t.Fatalf("emitted %d of %d", len(emitted), n)
+	}
+	for i, v := range emitted {
+		if v != i {
+			t.Fatalf("emitted[%d] = %d", i, v)
+		}
+	}
+}
+
+// Emission streams: index 0 is emitted while later jobs are still
+// pending, not after the whole batch completes. Later jobs block until
+// the first emission has been observed; a batch-then-emit
+// implementation would deadlock here (bounded by the timeout).
+func TestOrderedStreams(t *testing.T) {
+	firstEmit := make(chan struct{})
+	var once sync.Once
+	err := Ordered(context.Background(), 16, 2,
+		func(_ context.Context, i int) error {
+			if i >= 2 {
+				select {
+				case <-firstEmit:
+				case <-time.After(5 * time.Second):
+					return errors.New("no emission while jobs pending: results are not streamed")
+				}
+			}
+			return nil
+		},
+		func(i int) error {
+			once.Do(func() { close(firstEmit) })
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The first run error by index is returned and emission halts before
+// the failed index's successors.
+func TestOrderedErrorHaltsEmission(t *testing.T) {
+	boom := errors.New("boom")
+	var emitted []int
+	err := Ordered(context.Background(), 8, 4,
+		func(_ context.Context, i int) error {
+			if i == 3 {
+				return fmt.Errorf("job %d: %w", i, boom)
+			}
+			return nil
+		},
+		func(i int) error {
+			emitted = append(emitted, i)
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	for _, i := range emitted {
+		if i >= 3 {
+			t.Fatalf("emitted index %d after failure at 3", i)
+		}
+	}
+}
+
+// An emit error propagates and cancels outstanding work.
+func TestOrderedEmitError(t *testing.T) {
+	sink := errors.New("sink full")
+	var ran atomic.Int64
+	err := Ordered(context.Background(), 100, 2,
+		func(_ context.Context, i int) error {
+			ran.Add(1)
+			return nil
+		},
+		func(i int) error {
+			if i == 1 {
+				return sink
+			}
+			return nil
+		})
+	if !errors.Is(err, sink) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() == 100 {
+		t.Error("emit error did not cancel scheduling")
+	}
+}
+
+// A cancelled context stops scheduling and is reported.
+func TestOrderedContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := Ordered(ctx, 1000, 2,
+		func(_ context.Context, i int) error {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+			return nil
+		}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() == 1000 {
+		t.Error("cancel did not stop scheduling")
+	}
+}
+
+// Zero jobs is a no-op; nil emit is allowed; Map mirrors Ordered.
+func TestOrderedDegenerate(t *testing.T) {
+	if err := Ordered(context.Background(), 0, 4, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	var sum atomic.Int64
+	if err := Map(context.Background(), 10, 0, func(_ context.Context, i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+}

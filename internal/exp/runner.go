@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"gonoc/internal/core"
+	"gonoc/internal/exp/pool"
+)
+
+// Runner executes campaigns on a bounded worker pool. Scenario runs are
+// fully independent and individually deterministic, so any parallelism
+// produces the same results; the runner additionally delivers them to
+// sinks in campaign enumeration order, making the emitted byte streams
+// independent of scheduling too.
+type Runner struct {
+	// Parallel bounds concurrent simulations; <= 0 selects GOMAXPROCS.
+	Parallel int
+	// Progress, when set, is called after each delivered outcome with
+	// the number of completed and total runs. It runs on the emission
+	// goroutine, in order.
+	Progress func(done, total int)
+}
+
+// Run expands the campaign, executes every point, streams outcomes to
+// the sinks in enumeration order, and finally delivers one aggregate
+// per grid point (mean and CI95 across replications) to both the sinks
+// and the caller. Cancelling ctx stops scheduling new runs and returns
+// the context error; in-flight simulations finish first.
+func (r Runner) Run(ctx context.Context, c Campaign, sinks ...Sink) ([]Aggregate, error) {
+	pts, err := c.Points()
+	if err != nil {
+		return nil, err
+	}
+	results := make([]core.Result, len(pts))
+	agg := newAggregator()
+	done := 0
+
+	err = pool.Ordered(ctx, len(pts), r.Parallel,
+		func(_ context.Context, i int) error {
+			res, err := core.Run(pts[i].Scenario)
+			if err != nil {
+				return fmt.Errorf("exp: %s: %w", pts[i].ID(), err)
+			}
+			results[i] = res
+			return nil
+		},
+		func(i int) error {
+			o := Outcome{Campaign: c.Name, Point: pts[i], Result: results[i]}
+			agg.add(o)
+			done++
+			if r.Progress != nil {
+				r.Progress(done, len(pts))
+			}
+			for _, s := range sinks {
+				if err := s.Run(o); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	aggs := agg.aggregates()
+	for _, a := range aggs {
+		for _, s := range sinks {
+			if err := s.Summary(a); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return aggs, nil
+}
+
+// RunCampaign executes c with default parallelism and no sinks,
+// returning only the aggregates — the one-call form for examples and
+// tests.
+func RunCampaign(c Campaign) ([]Aggregate, error) {
+	return Runner{}.Run(context.Background(), c)
+}

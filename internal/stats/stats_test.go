@@ -419,3 +419,32 @@ func TestCollectorAcceptedRate(t *testing.T) {
 		t.Fatal("flits injected")
 	}
 }
+
+// CI95T applies the Student-t quantile at small sample counts and
+// converges to the normal CI95 for large ones.
+func TestCI95T(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{10, 12, 14} {
+		s.Add(v)
+	}
+	// n=3 → 2 dof → t = 4.303; stderr = 2/sqrt(3).
+	want := 4.303 * 2 / math.Sqrt(3)
+	if got := s.CI95T(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CI95T = %v, want %v", got, want)
+	}
+	if !(s.CI95T() > s.CI95()) {
+		t.Fatal("t interval not wider than normal interval at n=3")
+	}
+	var big Summary
+	for i := 0; i < 1000; i++ {
+		big.Add(float64(i % 10))
+	}
+	if math.Abs(big.CI95T()-big.CI95()) > 1e-12 {
+		t.Fatal("CI95T does not fall back to the normal quantile at large n")
+	}
+	var one Summary
+	one.Add(1)
+	if !math.IsNaN(one.CI95T()) {
+		t.Fatal("CI95T with one observation should be NaN")
+	}
+}
