@@ -1,6 +1,9 @@
 # Targets mirror .github/workflows/ci.yml step for step, so local runs
 # and CI stay identical.
 
+# bash for pipefail in the bench target; /bin/sh (dash) lacks it.
+SHELL := /bin/bash
+
 GO ?= go
 
 .PHONY: all build test vet fmt fmt-check bench ci
@@ -11,7 +14,7 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle on ./...
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +27,6 @@ fmt-check:
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	set -o pipefail; $(GO) test -json -bench=. -benchtime=1x -run='^$$' ./... | tee bench-smoke.json
 
 ci: build vet fmt-check test bench

@@ -7,10 +7,12 @@ package gonoc
 // publication scale.
 
 import (
+	"context"
 	"testing"
 
 	"gonoc/internal/analysis"
 	"gonoc/internal/core"
+	"gonoc/internal/exp"
 	"gonoc/internal/noc"
 	"gonoc/internal/routing"
 	"gonoc/internal/sim"
@@ -19,14 +21,17 @@ import (
 )
 
 // benchOpts are the reduced settings shared by the figure benchmarks.
-func benchOpts() core.FigureOpts {
-	return core.FigureOpts{
+// One replication keeps the benches comparable with the seed numbers;
+// cmd/nocfigs defaults to three for real CI95 columns.
+func benchOpts() exp.FigureOpts {
+	return exp.FigureOpts{
 		Sizes:            []int{8},
 		LoadFractions:    []float64{0.5, 1.25},
 		UniformFlitRates: []float64{0.1, 0.4},
 		Warmup:           300,
 		Measure:          2500,
 		Seed:             1,
+		Reps:             1,
 	}
 }
 
@@ -55,7 +60,7 @@ func BenchmarkFig3AvgDistance(b *testing.B) {
 func BenchmarkFig5Validation(b *testing.B) {
 	o := benchOpts()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Fig5Validation(o); err != nil {
+		if _, err := exp.Fig5Validation(context.Background(), o); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -66,7 +71,7 @@ func BenchmarkFig5Validation(b *testing.B) {
 func BenchmarkFig6HotspotThroughput(b *testing.B) {
 	o := benchOpts()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Fig6HotspotThroughput(o); err != nil {
+		if _, err := exp.Fig6HotspotThroughput(context.Background(), o); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -77,7 +82,7 @@ func BenchmarkFig6HotspotThroughput(b *testing.B) {
 func BenchmarkFig7HotspotLatency(b *testing.B) {
 	o := benchOpts()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Fig7HotspotLatency(o); err != nil {
+		if _, err := exp.Fig7HotspotLatency(context.Background(), o); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -88,7 +93,7 @@ func BenchmarkFig7HotspotLatency(b *testing.B) {
 func BenchmarkFig8DoubleHotspotThroughput(b *testing.B) {
 	o := benchOpts()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Fig8DoubleHotspotThroughput(o); err != nil {
+		if _, err := exp.Fig8DoubleHotspotThroughput(context.Background(), o); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -99,7 +104,7 @@ func BenchmarkFig8DoubleHotspotThroughput(b *testing.B) {
 func BenchmarkFig9DoubleHotspotLatency(b *testing.B) {
 	o := benchOpts()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Fig9DoubleHotspotLatency(o); err != nil {
+		if _, err := exp.Fig9DoubleHotspotLatency(context.Background(), o); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -110,7 +115,7 @@ func BenchmarkFig9DoubleHotspotLatency(b *testing.B) {
 func BenchmarkFig10UniformThroughput(b *testing.B) {
 	o := benchOpts()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Fig10UniformThroughput(o); err != nil {
+		if _, err := exp.Fig10UniformThroughput(context.Background(), o); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -121,7 +126,7 @@ func BenchmarkFig10UniformThroughput(b *testing.B) {
 func BenchmarkFig11UniformLatency(b *testing.B) {
 	o := benchOpts()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Fig11UniformLatency(o); err != nil {
+		if _, err := exp.Fig11UniformLatency(context.Background(), o); err != nil {
 			b.Fatal(err)
 		}
 	}

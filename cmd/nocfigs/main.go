@@ -1,25 +1,40 @@
 // Command nocfigs regenerates the tables behind every figure of the
-// paper's evaluation (Figures 2, 3, 5, 6, 7, 8, 9, 10, 11).
+// paper's evaluation (Figures 2, 3, 5, 6, 7, 8, 9, 10, 11). The
+// simulated figures (5-11) run as replicated exp.Campaign grids, so
+// every table value carries a mean and CI95 half-width column; a
+// result cache makes re-runs free and interrupted runs resumable.
 //
 // Usage:
 //
-//	nocfigs                  # all figures, text tables
-//	nocfigs -fig 6           # one figure
-//	nocfigs -fig 10 -csv     # CSV output
-//	nocfigs -sizes 8,24 -measure 20000
+//	nocfigs                          # all figures, text tables
+//	nocfigs -fig 6                   # one figure
+//	nocfigs -fig 10 -csv             # CSV output (with _ci95 columns)
+//	nocfigs -sizes 8,24 -measure 20000 -reps 5
+//	nocfigs -cache /tmp/figs -ci-target 0.05
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"gonoc/internal/core"
+	"gonoc/internal/exp"
 )
 
+// main delegates to realMain so deferred cleanup (signal teardown,
+// cache flush/report) runs on every exit path — os.Exit here would
+// skip it exactly when an interrupted run most needs the cache closed.
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		fig      = flag.Int("fig", 0, "figure number (2,3,5,6,7,8,9,10,11); 0 = all")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
@@ -28,45 +43,72 @@ func main() {
 		warmup   = flag.Uint64("warmup", 0, "warm-up cycles per run (default 2000)")
 		measure  = flag.Uint64("measure", 0, "measured cycles per run (default 20000)")
 		seed     = flag.Uint64("seed", 0, "master seed (default 1)")
+		reps     = flag.Int("reps", 0, "replications per figure point (default 3)")
 		minN     = flag.Int("minN", 4, "smallest N for analytic figures 2-3")
 		maxN     = flag.Int("maxN", 64, "largest N for analytic figures 2-3")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache", "", "directory for the content-addressed result cache")
+		ciTarget = flag.Float64("ci-target", 0, "adaptive replication: target CI95/mean ratio (0 = fixed reps)")
+		maxReps  = flag.Int("max-reps", 0, "cap on adaptive replications per point (0 = 4x reps)")
 	)
 	flag.Parse()
 
-	opts := core.FigureOpts{Warmup: *warmup, Measure: *measure, Seed: *seed, Parallel: *parallel}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := exp.FigureOpts{
+		Warmup:   *warmup,
+		Measure:  *measure,
+		Seed:     *seed,
+		Reps:     *reps,
+		Parallel: *parallel,
+		CITarget: *ciTarget,
+		MaxReps:  *maxReps,
+	}
 	if *sizes != "" {
 		for _, p := range strings.Split(*sizes, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(p))
 			if err != nil {
-				fatal(fmt.Errorf("bad size %q: %v", p, err))
+				return fail(fmt.Errorf("bad size %q: %v", p, err))
 			}
 			opts.Sizes = append(opts.Sizes, v)
 		}
+	}
+	if *cacheDir != "" {
+		cache, err := exp.OpenFileCache(*cacheDir)
+		if err != nil {
+			return fail(err)
+		}
+		defer func() {
+			if err := cache.ReportClose(os.Stderr); err != nil {
+				fail(err)
+			}
+		}()
+		opts.Cache = cache
 	}
 
 	type genFn func() (*core.Table, error)
 	gens := map[int]genFn{
 		2:  func() (*core.Table, error) { return core.Fig2Diameter(*minN, *maxN), nil },
 		3:  func() (*core.Table, error) { return core.Fig3AvgDistance(*minN, *maxN), nil },
-		5:  func() (*core.Table, error) { return core.Fig5Validation(opts) },
-		6:  func() (*core.Table, error) { return core.Fig6HotspotThroughput(opts) },
-		7:  func() (*core.Table, error) { return core.Fig7HotspotLatency(opts) },
-		8:  func() (*core.Table, error) { return core.Fig8DoubleHotspotThroughput(opts) },
-		9:  func() (*core.Table, error) { return core.Fig9DoubleHotspotLatency(opts) },
-		10: func() (*core.Table, error) { return core.Fig10UniformThroughput(opts) },
-		11: func() (*core.Table, error) { return core.Fig11UniformLatency(opts) },
+		5:  func() (*core.Table, error) { return exp.Fig5Validation(ctx, opts) },
+		6:  func() (*core.Table, error) { return exp.Fig6HotspotThroughput(ctx, opts) },
+		7:  func() (*core.Table, error) { return exp.Fig7HotspotLatency(ctx, opts) },
+		8:  func() (*core.Table, error) { return exp.Fig8DoubleHotspotThroughput(ctx, opts) },
+		9:  func() (*core.Table, error) { return exp.Fig9DoubleHotspotLatency(ctx, opts) },
+		10: func() (*core.Table, error) { return exp.Fig10UniformThroughput(ctx, opts) },
+		11: func() (*core.Table, error) { return exp.Fig11UniformLatency(ctx, opts) },
 	}
 	order := []int{2, 3, 5, 6, 7, 8, 9, 10, 11}
 
-	run := func(id int) {
+	run := func(id int) error {
 		gen, ok := gens[id]
 		if !ok {
-			fatal(fmt.Errorf("no such figure: %d", id))
+			return fmt.Errorf("no such figure: %d", id)
 		}
 		t, err := gen()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		switch {
 		case *csv:
@@ -76,18 +118,26 @@ func main() {
 		default:
 			fmt.Println(t.Text())
 		}
+		return nil
 	}
 
 	if *fig != 0 {
-		run(*fig)
-		return
+		if err := run(*fig); err != nil {
+			return fail(err)
+		}
+		return 0
 	}
 	for _, id := range order {
-		run(id)
+		if err := run(id); err != nil {
+			return fail(err)
+		}
 	}
+	return 0
 }
 
-func fatal(err error) {
+// fail reports the error and returns the process exit code, leaving
+// deferred cleanup to run — unlike os.Exit.
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "nocfigs:", err)
-	os.Exit(1)
+	return 1
 }

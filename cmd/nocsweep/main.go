@@ -1,8 +1,10 @@
 // Command nocsweep runs an injection-rate campaign over one or more
 // topologies and prints a throughput/latency table (or CSV), plus the
 // measured saturation point. It is the workhorse behind custom versions
-// of the paper's Figures 6-11, now with replicated runs, confidence
-// intervals, and machine-readable JSONL output.
+// of the paper's Figures 6-11: replicated runs, confidence intervals,
+// machine-readable JSONL output, a content-addressed result cache,
+// deterministic sharding across processes, and adaptive replication
+// and grid refinement.
 //
 // Usage:
 //
@@ -10,13 +12,19 @@
 //	         -rates 0.05,0.1,0.2,0.3,0.4 -csv
 //	nocsweep -topo ring,spidergon,mesh -n 16 -reps 5 -out results.jsonl
 //	nocsweep -topo spidergon -n 16 -traffic hotspot -saturation
+//	nocsweep -reps 3 -ci-target 0.05 -cache /tmp/sweep   # adaptive reps
+//	nocsweep -shard 0/2 -out s0.jsonl                     # one shard...
+//	nocsweep -shard 1/2 -out s1.jsonl                     # ...its twin
+//	nocsweep -merge s0.jsonl,s1.jsonl -out merged.jsonl   # == unsharded
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -41,8 +49,19 @@ func main() {
 		warmup   = flag.Uint64("warmup", 1000, "warm-up cycles")
 		measure  = flag.Uint64("measure", 10000, "measured cycles")
 		seed     = flag.Uint64("seed", 1, "seed")
+		shard    = flag.String("shard", "", "run one shard i/n of the campaign (emits run records only)")
+		cacheDir = flag.String("cache", "", "directory for the content-addressed result cache")
+		ciTarget = flag.Float64("ci-target", 0, "adaptive replication: target CI95/mean ratio (0 = fixed reps)")
+		maxReps  = flag.Int("max-reps", 0, "cap on adaptive replications per point (0 = 4x reps)")
+		refine   = flag.Int("refine", 0, "insert up to this many extra rates around each curve's saturation knee")
+		merge    = flag.String("merge", "", "merge shard JSONL files (comma-separated) instead of simulating")
 	)
 	flag.Parse()
+
+	if *merge != "" {
+		mergeShards(*merge, *out, *lat, *csv)
+		return
+	}
 
 	flitRates, err := parseFloats(*rates)
 	if err != nil {
@@ -69,6 +88,32 @@ func main() {
 		Measure:    *measure,
 	}
 
+	runner := exp.Runner{
+		Parallel: *parallel,
+		CITarget: *ciTarget,
+		MaxReps:  *maxReps,
+		Refine:   *refine,
+	}
+	if *shard != "" {
+		sh, err := parseShard(*shard)
+		if err != nil {
+			fatal(err)
+		}
+		runner.Shard = sh
+	}
+	if *cacheDir != "" {
+		cache, err := exp.OpenFileCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := cache.ReportClose(os.Stderr); err != nil {
+				fatal(err)
+			}
+		}()
+		runner.Cache = cache
+	}
+
 	var sinks []exp.Sink
 	var outFile *os.File
 	if *out != "" {
@@ -80,7 +125,6 @@ func main() {
 		sinks = append(sinks, exp.NewJSONLWriter(f))
 	}
 
-	runner := exp.Runner{Parallel: *parallel}
 	aggs, err := runner.Run(context.Background(), campaign, sinks...)
 	if err != nil {
 		fatal(err)
@@ -93,39 +137,7 @@ func main() {
 		}
 	}
 
-	metric := "throughput (flits/cycle)"
-	if *lat {
-		metric = "mean latency (cycles)"
-	}
-	tab := &core.Table{
-		Title: fmt.Sprintf("sweep: %s, N=%s, %s, reps=%d", metric, *ns, *tk, *reps),
-		XName: "injection rate (flits/cycle/source)",
-	}
-	series := map[string]*stats.Series{}
-	var order []string
-	for _, a := range aggs {
-		name := fmt.Sprintf("%s-%d", a.Topo, a.Nodes)
-		s, ok := series[name]
-		if !ok {
-			s = &stats.Series{Name: name}
-			series[name] = s
-			order = append(order, name)
-		}
-		m := a.Throughput
-		if *lat {
-			m = a.Latency
-		}
-		s.Append(a.FlitRate, m.Mean)
-	}
-	for _, name := range order {
-		tab.Add(series[name])
-	}
-
-	if *csv {
-		fmt.Print(tab.CSV())
-	} else {
-		fmt.Println(tab.Text())
-	}
+	printTable(aggs, fmt.Sprintf("sweep: N=%s, %s, reps=%d", *ns, *tk, *reps), *lat, *csv)
 
 	if *sat {
 		// Reuse the campaign's own scenario resolution (hot-spot
@@ -157,6 +169,108 @@ func main() {
 				key, rate*plen, analysis.UniformSaturationBound(topo))
 		}
 	}
+}
+
+// mergeShards concatenates shard JSONL streams: run records verbatim,
+// summaries recomputed — the merged file is byte-identical to an
+// unsharded run's output.
+func mergeShards(files, out string, lat, csv bool) {
+	var readers []io.Reader
+	var closers []*os.File
+	for _, name := range strings.Split(files, ",") {
+		name = strings.TrimSpace(name)
+		if out != "" && samePath(name, out) {
+			fatal(fmt.Errorf("-out %s is also a merge input; it would be truncated before reading", out))
+		}
+		f, err := os.Open(name)
+		if err != nil {
+			fatal(err)
+		}
+		readers = append(readers, f)
+		closers = append(closers, f)
+	}
+	var w io.Writer
+	var outFile *os.File
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		outFile = f
+		w = f
+	}
+	aggs, err := exp.MergeRuns(readers, w)
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range closers {
+		f.Close()
+	}
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	printTable(aggs, fmt.Sprintf("merged %d shard streams", len(closers)), lat, csv)
+}
+
+// printTable renders aggregates as one series per (topology, nodes),
+// with CI95 columns from the replications.
+func printTable(aggs []exp.Aggregate, title string, lat, csv bool) {
+	metric := "throughput (flits/cycle)"
+	if lat {
+		metric = "mean latency (cycles)"
+	}
+	tab := &core.Table{
+		Title: fmt.Sprintf("%s: %s", title, metric),
+		XName: "injection rate (flits/cycle/source)",
+	}
+	series := map[string]*stats.Series{}
+	var order []string
+	for _, a := range aggs {
+		name := fmt.Sprintf("%s-%d", a.Topo, a.Nodes)
+		s, ok := series[name]
+		if !ok {
+			s = &stats.Series{Name: name}
+			series[name] = s
+			order = append(order, name)
+		}
+		m := a.Throughput
+		if lat {
+			m = a.Latency
+		}
+		s.AppendCI(a.FlitRate, m.Mean, m.CI95)
+	}
+	for _, name := range order {
+		tab.Add(series[name])
+	}
+	if csv {
+		fmt.Print(tab.CSV())
+	} else {
+		fmt.Println(tab.Text())
+	}
+}
+
+// samePath reports whether two names refer to the same file, by
+// absolute path (existence not required).
+func samePath(a, b string) bool {
+	aa, err1 := filepath.Abs(a)
+	bb, err2 := filepath.Abs(b)
+	return err1 == nil && err2 == nil && aa == bb
+}
+
+// parseShard parses "i/n".
+func parseShard(s string) (exp.Shard, error) {
+	parts := strings.Split(s, "/")
+	if len(parts) != 2 {
+		return exp.Shard{}, fmt.Errorf("bad shard %q: want i/n", s)
+	}
+	i, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+	n, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err1 != nil || err2 != nil || n < 1 {
+		return exp.Shard{}, fmt.Errorf("bad shard %q: want i/n", s)
+	}
+	return exp.Shard{Index: i, Count: n}, nil
 }
 
 func parseFloats(s string) ([]float64, error) {

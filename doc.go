@@ -7,12 +7,18 @@
 // mesh family, torus, chordal ring), routing algorithms with a
 // channel-dependency-graph deadlock checker, a wormhole-switched
 // flit-level network model, Poisson/hot-spot/uniform traffic
-// generation, an experiment layer (internal/core) that regenerates
-// every figure of the paper, and a campaign layer (internal/exp) that
-// expands crossed parameter grids — topology × size × traffic ×
-// injection rate × replications — onto a cancellable worker pool and
-// streams per-run and mean/CI95 summary records to JSONL/CSV sinks,
-// byte-identically at any parallelism. See README.md for a tour and
-// EXPERIMENTS.md for paper-versus-measured results; bench_test.go in
-// this directory holds one benchmark per paper figure.
+// generation, a scenario layer (internal/core) with the deterministic
+// single-run engine and content-addressed scenario keys, and the
+// experiment stack (internal/exp) every batch run goes through:
+// campaigns expand crossed parameter grids — topology × size × traffic
+// × injection rate × replications — onto a cancellable worker pool and
+// stream per-run and mean/CI95 summary records to JSONL/CSV sinks,
+// byte-identically at any parallelism, with a JSONL result cache
+// (re-runs are free, interrupted runs resume), deterministic sharding
+// whose merged streams equal the unsharded output, variance-aware
+// adaptive replication, saturation-knee grid refinement, and the
+// regenerators for the paper's simulated figures (5-11) with CI95
+// columns. See README.md for a tour and EXPERIMENTS.md for the
+// paper-versus-measured methodology; bench_test.go in this directory
+// holds one benchmark per paper figure.
 package gonoc

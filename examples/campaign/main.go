@@ -25,6 +25,8 @@ func main() {
 		out      = flag.String("out", "", "also write per-run and summary records as JSONL")
 		reps     = flag.Int("reps", 3, "replications per grid point")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache", "", "directory for the content-addressed result cache")
+		ciTarget = flag.Float64("ci-target", 0, "adaptive replication: target CI95/mean ratio (0 = fixed reps)")
 	)
 	flag.Parse()
 
@@ -57,12 +59,27 @@ func main() {
 
 	runner := exp.Runner{
 		Parallel: *parallel,
+		CITarget: *ciTarget,
 		Progress: func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
 			if done == total {
 				fmt.Fprintln(os.Stderr)
 			}
 		},
+	}
+	if *cacheDir != "" {
+		// With a warm cache a re-run of the same spec replays entirely
+		// from disk: zero simulations.
+		cache, err := exp.OpenFileCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := cache.ReportClose(os.Stderr); err != nil {
+				fatal(err)
+			}
+		}()
+		runner.Cache = cache
 	}
 	aggs, err := runner.Run(context.Background(), campaign, sinks...)
 	if err != nil {

@@ -271,37 +271,8 @@ func TestUniformRingSaturatesFirst(t *testing.T) {
 	}
 }
 
-func TestSweepOrderAndParallelism(t *testing.T) {
-	base := NewScenario(Spidergon, 8, UniformTraffic, 0)
-	base.Warmup, base.Measure = 200, 2000
-	lambdas := []float64{0.002, 0.005, 0.01, 0.02}
-	results, err := Sweep(base, lambdas)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(results) != len(lambdas) {
-		t.Fatal("result count")
-	}
-	for i, r := range results {
-		if r.Scenario.Lambda != lambdas[i] {
-			t.Fatalf("result %d has lambda %v", i, r.Scenario.Lambda)
-		}
-	}
-	// Throughput grows with offered load below saturation.
-	for i := 1; i < len(results); i++ {
-		if results[i].Throughput <= results[i-1].Throughput {
-			t.Fatalf("throughput not increasing below saturation: %v vs %v",
-				results[i].Throughput, results[i-1].Throughput)
-		}
-	}
-}
-
-func TestSweepPropagatesError(t *testing.T) {
-	base := NewScenario(Spidergon, 7, UniformTraffic, 0) // invalid N
-	if _, err := Sweep(base, []float64{0.01}); err == nil {
-		t.Fatal("sweep swallowed error")
-	}
-}
+// Sweep-style batches are exercised in internal/exp: the campaign
+// runner is the module's single batch execution path.
 
 func TestMeshCenterMatchesPaper(t *testing.T) {
 	// Paper: node 5 (1-based) on the 2x4 mesh, node 14 (1-based) on 4x6.
@@ -431,105 +402,6 @@ func TestFig3Shapes(t *testing.T) {
 		if sy >= ry {
 			t.Fatalf("N=%v: spidergon E[D] %v not below ring %v", x, sy, ry)
 		}
-	}
-}
-
-func TestFig5TableSmall(t *testing.T) {
-	o := FigureOpts{Sizes: []int{8}, Warmup: 200, Measure: 3000, Seed: 1}
-	tab, err := Fig5Validation(o)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(tab.Series) != 6 {
-		t.Fatalf("series = %d", len(tab.Series))
-	}
-	// Each analytic value is close to its simulated counterpart.
-	for _, kind := range []string{"ring", "spidergon", "mesh"} {
-		var an, sim *stats.Series
-		for _, s := range tab.Series {
-			if s.Name == "analytic-"+kind {
-				an = s
-			}
-			if s.Name == "sim-"+kind {
-				sim = s
-			}
-		}
-		a, _ := an.YAt(8)
-		m, _ := sim.YAt(8)
-		if math.Abs(a-m) > 0.2*a {
-			t.Fatalf("%s: analytic %v vs sim %v", kind, a, m)
-		}
-	}
-}
-
-func TestFig6TableSmall(t *testing.T) {
-	o := FigureOpts{
-		Sizes:         []int{8},
-		LoadFractions: []float64{0.5, 1.5},
-		Warmup:        500,
-		Measure:       5000,
-		Seed:          1,
-	}
-	tab, err := Fig6HotspotThroughput(o)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// ring, spidergon, mesh-corner, mesh-center = 4 curves.
-	if len(tab.Series) != 4 {
-		t.Fatalf("series = %d: %v", len(tab.Series), names(tab.Series))
-	}
-	// At 1.5x saturation every curve is pinned at ≈ 1 flit/cycle.
-	for _, s := range tab.Series {
-		if got := s.Y[len(s.Y)-1]; got < 0.9 || got > 1.01 {
-			t.Fatalf("%s: saturated throughput %v", s.Name, got)
-		}
-	}
-}
-
-func TestFig10TableSmall(t *testing.T) {
-	o := FigureOpts{
-		Sizes:            []int{8},
-		UniformFlitRates: []float64{0.1, 0.4},
-		Warmup:           500,
-		Measure:          5000,
-		Seed:             1,
-	}
-	tab, err := Fig10UniformThroughput(o)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(tab.Series) != 3 {
-		t.Fatalf("series = %d", len(tab.Series))
-	}
-	for _, s := range tab.Series {
-		if s.Len() != 2 {
-			t.Fatalf("%s: %d points", s.Name, s.Len())
-		}
-	}
-}
-
-func TestEvenSize(t *testing.T) {
-	if evenSize(7) != 8 || evenSize(8) != 8 {
-		t.Fatal("evenSize")
-	}
-}
-
-func TestHotspotVariants(t *testing.T) {
-	v := hotspotVariants(Mesh, 8, 1)
-	if len(v) != 2 {
-		t.Fatalf("mesh single variants = %d", len(v))
-	}
-	v = hotspotVariants(Ring, 8, 1)
-	if len(v) != 1 || v[0].targets[0] != 0 {
-		t.Fatalf("ring single variants = %v", v)
-	}
-	v = hotspotVariants(Mesh, 8, 2)
-	if len(v) != 3 {
-		t.Fatalf("mesh double variants = %d", len(v))
-	}
-	v = hotspotVariants(Spidergon, 8, 2)
-	if len(v) != 2 {
-		t.Fatalf("spidergon double variants = %d", len(v))
 	}
 }
 

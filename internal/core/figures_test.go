@@ -1,105 +1,9 @@
 package core
 
 import (
-	"math"
 	"strings"
 	"testing"
-
-	"gonoc/internal/stats"
 )
-
-// smallOpts keeps per-test figure generation fast.
-func smallOpts() FigureOpts {
-	return FigureOpts{
-		Sizes:            []int{8},
-		LoadFractions:    []float64{0.5, 1.5},
-		UniformFlitRates: []float64{0.1, 0.4},
-		Warmup:           300,
-		Measure:          3000,
-		Seed:             1,
-	}
-}
-
-func TestFig7LatencyRisesPastSaturation(t *testing.T) {
-	tab, err := Fig7HotspotLatency(smallOpts())
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, s := range tab.Series {
-		if s.Len() != 2 {
-			t.Fatalf("%s: %d points", s.Name, s.Len())
-		}
-		if s.Y[1] <= s.Y[0] {
-			t.Fatalf("%s: latency did not rise past saturation (%v -> %v)",
-				s.Name, s.Y[0], s.Y[1])
-		}
-		// Past saturation the queueing delay dominates: at least 3x.
-		if s.Y[1] < 3*s.Y[0] {
-			t.Fatalf("%s: latency knee too soft (%v -> %v)", s.Name, s.Y[0], s.Y[1])
-		}
-	}
-}
-
-func TestFig8DoubleHotspotCurves(t *testing.T) {
-	tab, err := Fig8DoubleHotspotThroughput(smallOpts())
-	if err != nil {
-		t.Fatal(err)
-	}
-	// ring A,B + spidergon A,B + mesh A,B,C = 7 curves at N=8.
-	if len(tab.Series) != 7 {
-		t.Fatalf("series = %d: %v", len(tab.Series), names(tab.Series))
-	}
-	// Saturated value ≈ 2 flits/cycle for every placement, except the
-	// ring's asymmetric placement B where the low-bisection fabric
-	// (not the sinks) caps slightly lower — a real effect the 8-node
-	// ring exhibits at ~1.65.
-	for _, s := range tab.Series {
-		last := s.Y[len(s.Y)-1]
-		lo := 1.6 // short measurement window; full-scale runs reach ~1.95
-		if s.Name == "ring-8-B" {
-			lo = 1.5
-		}
-		if last < lo || last > 2.01 {
-			t.Fatalf("%s: saturated double-hotspot throughput %v", s.Name, last)
-		}
-	}
-}
-
-func TestFig9DoubleHotspotLatencyKnee(t *testing.T) {
-	tab, err := Fig9DoubleHotspotLatency(smallOpts())
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, s := range tab.Series {
-		if s.Y[1] <= s.Y[0] {
-			t.Fatalf("%s: no latency rise", s.Name)
-		}
-	}
-}
-
-func TestFig11RingWorstAtHighLoad(t *testing.T) {
-	o := smallOpts()
-	o.Sizes = []int{16}
-	o.UniformFlitRates = []float64{0.4}
-	tab, err := Fig11UniformLatency(o)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var ring, sg, mesh float64
-	for _, s := range tab.Series {
-		switch {
-		case strings.HasPrefix(s.Name, "ring"):
-			ring = s.Y[0]
-		case strings.HasPrefix(s.Name, "spidergon"):
-			sg = s.Y[0]
-		case strings.HasPrefix(s.Name, "mesh"):
-			mesh = s.Y[0]
-		}
-	}
-	if ring <= sg || ring <= mesh {
-		t.Fatalf("ring latency %v not worst (sg %v, mesh %v)", ring, sg, mesh)
-	}
-}
 
 func TestFig2CSVRoundTrip(t *testing.T) {
 	tab := Fig2Diameter(8, 16)
@@ -117,56 +21,5 @@ func TestFig2CSVRoundTrip(t *testing.T) {
 		if strings.Count(l, ",") != want {
 			t.Fatalf("ragged csv row %q", l)
 		}
-	}
-}
-
-func TestFigureOptsDefaults(t *testing.T) {
-	var zero FigureOpts
-	d := zero.withDefaults()
-	if len(d.Sizes) == 0 || len(d.LoadFractions) == 0 || len(d.UniformFlitRates) == 0 {
-		t.Fatal("defaults missing")
-	}
-	if d.Warmup == 0 || d.Measure == 0 || d.Seed == 0 {
-		t.Fatal("default cycles/seed missing")
-	}
-	// Explicit values survive.
-	o := FigureOpts{Sizes: []int{10}, Warmup: 7}.withDefaults()
-	if o.Sizes[0] != 10 || o.Warmup != 7 {
-		t.Fatal("explicit values overwritten")
-	}
-}
-
-func TestFig5AnalyticColumnsMatchFormulas(t *testing.T) {
-	// The analytic columns do not require simulation correctness; they
-	// must equal the closed forms exactly.
-	o := smallOpts()
-	tab, err := Fig5Validation(o)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var an *stats.Series
-	for _, s := range tab.Series {
-		if s.Name == "analytic-spidergon" {
-			an = s
-		}
-	}
-	y, ok := an.YAt(8)
-	if !ok || math.Abs(y-11.0/7.0) > 1e-9 { // SpidergonPathSum(8)/7
-		t.Fatalf("analytic spidergon E[D](8) = %v", y)
-	}
-}
-
-func TestHotspotFigureUsesSaturationGrid(t *testing.T) {
-	// x values of a hotspot curve are fractions of λ_sat in flits/cycle:
-	// for N=8, k=1: λ_sat = 1/42 pkts/cycle -> 1/7 flits/cycle.
-	o := smallOpts()
-	tab, err := Fig6HotspotThroughput(o)
-	if err != nil {
-		t.Fatal(err)
-	}
-	s := tab.Series[0]
-	want0 := 0.5 / 7.0
-	if math.Abs(s.X[0]-want0) > 1e-9 {
-		t.Fatalf("first x = %v, want %v", s.X[0], want0)
 	}
 }

@@ -1,0 +1,55 @@
+package core
+
+import "testing"
+
+// Cache keys are deterministic, sensitive to every run-relevant field,
+// and normalize spec choices that cannot change the simulation.
+func TestCacheKeyStableAndSensitive(t *testing.T) {
+	base := NewScenario(Mesh, 16, UniformTraffic, 0.01)
+	if base.CacheKey() != base.CacheKey() {
+		t.Fatal("key not deterministic")
+	}
+	mutations := map[string]func(*Scenario){
+		"seed":    func(s *Scenario) { s.Seed++ },
+		"lambda":  func(s *Scenario) { s.Lambda *= 2 },
+		"nodes":   func(s *Scenario) { s.Nodes = 24 },
+		"topo":    func(s *Scenario) { s.Topo = Ring },
+		"traffic": func(s *Scenario) { s.Traffic = HotSpotTraffic; s.HotSpots = []int{0} },
+		"warmup":  func(s *Scenario) { s.Warmup += 100 },
+		"measure": func(s *Scenario) { s.Measure += 100 },
+		"routing": func(s *Scenario) { s.Routing = "yx" },
+		"packet":  func(s *Scenario) { s.Config.PacketLen++ },
+		"outbuf":  func(s *Scenario) { s.Config.OutBufCap++ },
+	}
+	for name, mutate := range mutations {
+		s := base
+		mutate(&s)
+		if s.CacheKey() == base.CacheKey() {
+			t.Errorf("%s change did not change the key", name)
+		}
+	}
+	// Hot-spot target order steers RNG draws, so it must be hashed
+	// literally, not canonicalised away.
+	a, b := base, base
+	a.Traffic, b.Traffic = HotSpotTraffic, HotSpotTraffic
+	a.HotSpots, b.HotSpots = []int{1, 5}, []int{5, 1}
+	if a.CacheKey() == b.CacheKey() {
+		t.Error("hot-spot order collapsed")
+	}
+}
+
+// Unset mesh dimensions normalize to the ideal factorisation Build
+// picks, so the implicit and explicit spellings share one cache entry.
+func TestCacheKeyNormalizesMeshDims(t *testing.T) {
+	implicit := NewScenario(Mesh, 24, UniformTraffic, 0.01)
+	explicit := implicit
+	explicit.Cols, explicit.Rows = 4, 6 // IdealMeshDims(24)
+	if implicit.CacheKey() != explicit.CacheKey() {
+		t.Fatal("ideal mesh dims not normalized")
+	}
+	other := implicit
+	other.Cols, other.Rows = 2, 12
+	if other.CacheKey() == implicit.CacheKey() {
+		t.Fatal("distinct geometry shares a key")
+	}
+}

@@ -1,11 +1,9 @@
 package core
 
 import (
-	"context"
 	"fmt"
 
 	"gonoc/internal/analysis"
-	"gonoc/internal/exp/pool"
 	"gonoc/internal/noc"
 	"gonoc/internal/sim"
 	"gonoc/internal/stats"
@@ -135,40 +133,8 @@ func Run(s Scenario) (Result, error) {
 	return r, nil
 }
 
-// Sweep runs the base scenario once per lambda, in parallel across
-// GOMAXPROCS workers (each run is fully independent and deterministic),
-// returning results in lambda order.
-func Sweep(base Scenario, lambdas []float64) ([]Result, error) {
-	scenarios := make([]Scenario, len(lambdas))
-	for i, l := range lambdas {
-		scenarios[i] = base
-		scenarios[i].Lambda = l
-	}
-	return SweepScenarios(scenarios)
-}
-
-// SweepScenarios runs heterogeneous scenarios in parallel, preserving
-// order.
-func SweepScenarios(scenarios []Scenario) ([]Result, error) {
-	return SweepScenariosParallel(context.Background(), scenarios, 0)
-}
-
-// SweepScenariosParallel runs heterogeneous scenarios on the shared
-// experiment worker pool with at most parallel concurrent simulations
-// (<= 0 selects GOMAXPROCS), preserving order. Cancelling ctx stops
-// scheduling new runs.
-func SweepScenariosParallel(ctx context.Context, scenarios []Scenario, parallel int) ([]Result, error) {
-	results := make([]Result, len(scenarios))
-	err := pool.Map(ctx, len(scenarios), parallel, func(_ context.Context, i int) error {
-		r, err := Run(scenarios[i])
-		if err != nil {
-			return err
-		}
-		results[i] = r
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return results, nil
-}
+// Batch execution lives in internal/exp: every multi-scenario run in
+// the module — sweeps, figures, campaigns — goes through exp.Campaign
+// and its runner, which adds replication, caching, sharding and
+// confidence intervals on top of the single-scenario Run above. The
+// seed's Sweep/SweepScenarios helpers are retired in its favour.

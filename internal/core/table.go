@@ -48,11 +48,19 @@ func fmtCell(v float64, ok bool) string {
 	return fmt.Sprintf("%.4g", v)
 }
 
-// Text renders the table as aligned columns for terminal output.
+// Text renders the table as aligned columns for terminal output. A
+// series carrying confidence intervals (built from replicated runs)
+// gets a second "±ci95" column directly after its value column.
 func (t *Table) Text() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", t.Title)
-	headers := append([]string{t.XName}, names(t.Series)...)
+	headers := []string{t.XName}
+	for _, s := range t.Series {
+		headers = append(headers, s.Name)
+		if s.HasCI() {
+			headers = append(headers, "±ci95")
+		}
+	}
 	xs := t.xUnion()
 	rows := make([][]string, 0, len(xs)+1)
 	rows = append(rows, headers)
@@ -61,6 +69,10 @@ func (t *Table) Text() string {
 		for _, s := range t.Series {
 			y, ok := s.YAt(x)
 			row = append(row, fmtCell(y, ok))
+			if s.HasCI() {
+				ci, ok := s.CIAt(x)
+				row = append(row, fmtCell(ci, ok))
+			}
 		}
 		rows = append(rows, row)
 	}
@@ -87,13 +99,19 @@ func (t *Table) Text() string {
 	return b.String()
 }
 
-// CSV renders the table as comma-separated values with a header row.
+// CSV renders the table as comma-separated values with a header row. A
+// series carrying confidence intervals gets a "<name>_ci95" column
+// directly after its value column.
 func (t *Table) CSV() string {
 	var b strings.Builder
 	b.WriteString(csvEscape(t.XName))
 	for _, s := range t.Series {
 		b.WriteByte(',')
 		b.WriteString(csvEscape(s.Name))
+		if s.HasCI() {
+			b.WriteByte(',')
+			b.WriteString(csvEscape(s.Name + "_ci95"))
+		}
 	}
 	b.WriteByte('\n')
 	for _, x := range t.xUnion() {
@@ -102,6 +120,12 @@ func (t *Table) CSV() string {
 			b.WriteByte(',')
 			if y, ok := s.YAt(x); ok && !math.IsNaN(y) {
 				fmt.Fprintf(&b, "%g", y)
+			}
+			if s.HasCI() {
+				b.WriteByte(',')
+				if ci, ok := s.CIAt(x); ok && !math.IsNaN(ci) {
+					fmt.Fprintf(&b, "%g", ci)
+				}
 			}
 		}
 		b.WriteByte('\n')

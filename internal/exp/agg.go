@@ -103,25 +103,40 @@ func addFinite(s *stats.Summary, v float64) {
 	}
 }
 
+// build renders one cell as its aggregate record.
+func (c *aggCell) build() Aggregate {
+	return Aggregate{
+		Campaign:    c.campaign,
+		Topo:        c.topo,
+		Nodes:       c.nodes,
+		Traffic:     c.traffic,
+		FlitRate:    c.flitRate,
+		Reps:        int(c.throughput.Count()),
+		Throughput:  metricOf(&c.throughput),
+		Accepted:    metricOf(&c.accepted),
+		Latency:     metricOf(&c.latency),
+		P95Latency:  metricOf(&c.p95),
+		MeanHops:    metricOf(&c.hops),
+		EnergyPerPk: metricOf(&c.energy),
+	}
+}
+
+// get returns the current aggregate of one grid point, with ok=false
+// before any of its outcomes arrived. The adaptive runner polls it
+// between rounds.
+func (a *aggregator) get(grid int) (Aggregate, bool) {
+	c, ok := a.cells[grid]
+	if !ok {
+		return Aggregate{}, false
+	}
+	return c.build(), true
+}
+
 // aggregates returns the summaries in campaign enumeration order.
 func (a *aggregator) aggregates() []Aggregate {
 	out := make([]Aggregate, 0, len(a.order))
 	for _, gi := range a.order {
-		c := a.cells[gi]
-		out = append(out, Aggregate{
-			Campaign:    c.campaign,
-			Topo:        c.topo,
-			Nodes:       c.nodes,
-			Traffic:     c.traffic,
-			FlitRate:    c.flitRate,
-			Reps:        int(c.throughput.Count()),
-			Throughput:  metricOf(&c.throughput),
-			Accepted:    metricOf(&c.accepted),
-			Latency:     metricOf(&c.latency),
-			P95Latency:  metricOf(&c.p95),
-			MeanHops:    metricOf(&c.hops),
-			EnergyPerPk: metricOf(&c.energy),
-		})
+		out = append(out, a.cells[gi].build())
 	}
 	return out
 }

@@ -1,0 +1,223 @@
+package exp
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"gonoc/internal/core"
+)
+
+// Source is the read side of a content-addressed result store: Lookup
+// resolves a scenario cache key (core.Scenario.CacheKey) to a
+// previously measured result. Implementations must be safe for
+// concurrent Lookup — the runner consults the source from every worker.
+type Source interface {
+	Lookup(key string) (core.Result, bool)
+}
+
+// Cache is a result store: a Source that also records fresh results.
+// The runner calls Store from its single ordered-emission goroutine,
+// concurrently with worker Lookups.
+type Cache interface {
+	Source
+	Store(key string, r core.Result) error
+}
+
+// MemCache is an in-memory Cache with hit/miss accounting. The zero
+// value is not ready; use NewMemCache.
+type MemCache struct {
+	mu     sync.RWMutex
+	m      map[string]core.Result
+	hits   int
+	misses int
+}
+
+// NewMemCache returns an empty in-memory cache.
+func NewMemCache() *MemCache { return &MemCache{m: make(map[string]core.Result)} }
+
+// Lookup implements Source.
+func (c *MemCache) Lookup(key string) (core.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.m[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return r, ok
+}
+
+// Store implements Cache.
+func (c *MemCache) Store(key string, r core.Result) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = r
+	return nil
+}
+
+// Len returns the number of cached results.
+func (c *MemCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Hits returns the number of successful Lookups so far.
+func (c *MemCache) Hits() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.hits
+}
+
+// Misses returns the number of failed Lookups so far.
+func (c *MemCache) Misses() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.misses
+}
+
+// cacheFile is the JSONL store inside a FileCache directory.
+const cacheFile = "results.jsonl"
+
+// FileCache is a Cache persisted as one JSONL file in a directory: one
+// {"key": ..., "result": ...} object per line, appended (and flushed)
+// as each result arrives — one line-sized write per simulation, so an
+// interrupt at any point loses nothing already measured. Opening the
+// cache replays the file, so an interrupted campaign resumes from
+// whatever completed — a torn final line (from a killed process) is
+// skipped, not fatal. The on-disk order is the runner's emission
+// order, hence deterministic for a given campaign.
+type FileCache struct {
+	mem *MemCache
+	f   *os.File
+}
+
+// cacheEntry is the JSONL wire form of one cached result. Results can
+// carry NaN metrics (a replication that measured no packet), which
+// encoding/json rejects, so the wire form stores an explicit list of
+// the fields that were NaN and zeroes them in the payload.
+type cacheEntry struct {
+	Key    string      `json:"key"`
+	Result core.Result `json:"result"`
+	NaNs   []string    `json:"nans,omitempty"`
+}
+
+// nanFields enumerates the Result metrics that can be NaN, as name +
+// accessor pairs shared by encode and decode.
+var nanFields = []struct {
+	name string
+	get  func(*core.Result) *float64
+}{
+	{"mean_latency", func(r *core.Result) *float64 { return &r.MeanLatency }},
+	{"p50_latency", func(r *core.Result) *float64 { return &r.P50Latency }},
+	{"p95_latency", func(r *core.Result) *float64 { return &r.P95Latency }},
+	{"mean_net_latency", func(r *core.Result) *float64 { return &r.MeanNetLatency }},
+	{"mean_hops", func(r *core.Result) *float64 { return &r.MeanHops }},
+	{"energy_per_packet", func(r *core.Result) *float64 { return &r.EnergyPerPacket }},
+	{"total_energy", func(r *core.Result) *float64 { return &r.TotalEnergy }},
+}
+
+func encodeEntry(key string, r core.Result) cacheEntry {
+	e := cacheEntry{Key: key, Result: r}
+	for _, f := range nanFields {
+		if p := f.get(&e.Result); math.IsNaN(*p) {
+			*p = 0
+			e.NaNs = append(e.NaNs, f.name)
+		}
+	}
+	return e
+}
+
+func (e cacheEntry) decode() core.Result {
+	r := e.Result
+	for _, name := range e.NaNs {
+		for _, f := range nanFields {
+			if f.name == name {
+				*f.get(&r) = math.NaN()
+			}
+		}
+	}
+	return r
+}
+
+// OpenFileCache opens (creating if needed) the JSONL result cache in
+// dir. The caller must Close it to flush buffered appends.
+func OpenFileCache(dir string) (*FileCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("exp: cache dir: %w", err)
+	}
+	path := filepath.Join(dir, cacheFile)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("exp: cache file: %w", err)
+	}
+	c := &FileCache{mem: NewMemCache(), f: f}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		var e cacheEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.Key == "" {
+			continue // torn or foreign line; resume past it
+		}
+		_ = c.mem.Store(e.Key, e.decode())
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("exp: reading cache: %w", err)
+	}
+	return c, nil
+}
+
+// Lookup implements Source.
+func (c *FileCache) Lookup(key string) (core.Result, bool) { return c.mem.Lookup(key) }
+
+// Store implements Cache, appending the entry to the JSONL file. A key
+// already present (e.g. loaded at open) is refreshed in memory but not
+// re-appended.
+func (c *FileCache) Store(key string, r core.Result) error {
+	c.mem.mu.Lock()
+	_, dup := c.mem.m[key]
+	c.mem.m[key] = r
+	c.mem.mu.Unlock()
+	if dup {
+		return nil
+	}
+	b, err := json.Marshal(encodeEntry(key, r))
+	if err != nil {
+		return fmt.Errorf("exp: encoding cache entry: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := c.f.Write(b); err != nil {
+		return fmt.Errorf("exp: appending cache entry: %w", err)
+	}
+	return nil
+}
+
+// Len returns the number of cached results.
+func (c *FileCache) Len() int { return c.mem.Len() }
+
+// Hits returns the number of successful Lookups so far.
+func (c *FileCache) Hits() int { return c.mem.Hits() }
+
+// Misses returns the number of failed Lookups so far.
+func (c *FileCache) Misses() int { return c.mem.Misses() }
+
+// Close closes the backing file. Entries are durable as soon as Store
+// returns; Close only releases the descriptor.
+func (c *FileCache) Close() error {
+	return c.f.Close()
+}
+
+// ReportClose writes the cache's hit/miss counts to w and closes it —
+// the shared teardown of every command's -cache flag.
+func (c *FileCache) ReportClose(w io.Writer) error {
+	fmt.Fprintf(w, "# cache: %d hits, %d misses\n", c.Hits(), c.Misses())
+	return c.Close()
+}

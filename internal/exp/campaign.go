@@ -143,12 +143,22 @@ func (c Campaign) withDefaults() Campaign {
 	return c
 }
 
-// Points expands the campaign into its full run list, in deterministic
-// enumeration order (topology, then nodes, then traffic, then rate,
-// then replication). Replication seeds derive from the master seed via
-// an RNG split per grid point: the expansion is single-threaded, so the
-// assignment never depends on how the points are later scheduled.
-func (c Campaign) Points() ([]Point, error) {
+// cell is one grid point of the expanded campaign: the (topology,
+// nodes, traffic, rate) coordinates plus the resolved base scenario
+// with rate applied and seed still unset.
+type cell struct {
+	grid     int
+	topo     core.TopologyKind
+	nodes    int
+	spec     TrafficSpec
+	flitRate float64
+	base     core.Scenario
+}
+
+// cells expands the campaign's grid (without replications) in
+// deterministic enumeration order: topology, then nodes, then traffic,
+// then rate.
+func (c Campaign) cells() ([]cell, error) {
 	c = c.withDefaults()
 	if len(c.Topologies) == 0 {
 		return nil, fmt.Errorf("exp: campaign without topologies")
@@ -162,10 +172,7 @@ func (c Campaign) Points() ([]Point, error) {
 	if len(c.FlitRates) == 0 {
 		return nil, fmt.Errorf("exp: campaign without injection rates")
 	}
-
-	master := sim.NewRNG(c.Seed)
-	pts := make([]Point, 0, len(c.Topologies)*len(c.Nodes)*len(c.Traffics)*len(c.FlitRates)*c.Reps)
-	grid := 0
+	cells := make([]cell, 0, len(c.Topologies)*len(c.Nodes)*len(c.Traffics)*len(c.FlitRates))
 	for _, topo := range c.Topologies {
 		for _, n := range c.Nodes {
 			for _, spec := range c.Traffics {
@@ -176,23 +183,74 @@ func (c Campaign) Points() ([]Point, error) {
 				for _, fr := range c.FlitRates {
 					s := base
 					s.Lambda = fr / float64(c.Config.PacketLen)
-					stream := master.Split()
-					for rep := 0; rep < c.Reps; rep++ {
-						s.Seed = stream.Uint64()
-						pts = append(pts, Point{
-							Index:     len(pts),
-							GridIndex: grid,
-							Rep:       rep,
-							Topo:      topo,
-							Nodes:     n,
-							Traffic:   spec.Name(),
-							FlitRate:  fr,
-							Scenario:  s,
-						})
-					}
-					grid++
+					cells = append(cells, cell{
+						grid:     len(cells),
+						topo:     topo,
+						nodes:    n,
+						spec:     spec,
+						flitRate: fr,
+						base:     s,
+					})
 				}
 			}
+		}
+	}
+	return cells, nil
+}
+
+// Points expands the campaign into its full run list, in deterministic
+// enumeration order (topology, then nodes, then traffic, then rate,
+// then replication). Replication seeds derive from the master seed via
+// an RNG split per grid point: the expansion is single-threaded, so the
+// assignment never depends on how the points are later scheduled.
+func (c Campaign) Points() ([]Point, error) {
+	return c.pointsN(nil, nil)
+}
+
+// pointsN is the generalized expansion behind Points and the adaptive
+// runner: cell g receives reps(g) replications (nil or non-positive
+// falls back to Campaign.Reps) of which the first skip(g) are omitted
+// from the result. Every cell's seed stream is split off the master in
+// enumeration order and then advanced replication by replication, so a
+// later expansion with a larger reps(g) reproduces the earlier
+// replications bit for bit and merely extends the tail — adaptive
+// rounds never reseed completed work.
+func (c Campaign) pointsN(reps, skip func(grid int) int) ([]Point, error) {
+	cd := c.withDefaults()
+	cells, err := c.cells()
+	if err != nil {
+		return nil, err
+	}
+	master := sim.NewRNG(cd.Seed)
+	var pts []Point
+	for _, cl := range cells {
+		n := cd.Reps
+		if reps != nil {
+			if r := reps(cl.grid); r > 0 {
+				n = r
+			}
+		}
+		from := 0
+		if skip != nil {
+			from = skip(cl.grid)
+		}
+		stream := master.Split()
+		s := cl.base
+		for rep := 0; rep < n; rep++ {
+			s.Seed = stream.Uint64()
+			if rep < from {
+				continue
+			}
+			pts = append(pts, Point{
+				Index:     len(pts),
+				GridIndex: cl.grid,
+				Rep:       rep,
+				Topo:      cl.topo,
+				Nodes:     cl.nodes,
+				Traffic:   cl.spec.Name(),
+				FlitRate:  cl.flitRate,
+				Scenario:  s,
+			})
 		}
 	}
 	for i := range pts {

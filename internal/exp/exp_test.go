@@ -70,21 +70,23 @@ func TestPointsDeterministic(t *testing.T) {
 	}
 }
 
-// The same campaign emits byte-identical JSONL at parallel 1 and
-// parallel 8: scheduling must not leak into the output.
+// The same campaign emits byte-identical JSONL at parallel 1, 4 and
+// 16: scheduling must not leak into the output.
 func TestJSONLByteIdenticalAcrossParallelism(t *testing.T) {
 	c := testCampaign()
-	outs := make([]*bytes.Buffer, 2)
-	for i, parallel := range []int{1, 8} {
+	var outs []*bytes.Buffer
+	for _, parallel := range []int{1, 4, 16} {
 		var buf bytes.Buffer
 		r := Runner{Parallel: parallel}
 		if _, err := r.Run(context.Background(), c, NewJSONLWriter(&buf)); err != nil {
 			t.Fatal(err)
 		}
-		outs[i] = &buf
+		outs = append(outs, &buf)
 	}
-	if !bytes.Equal(outs[0].Bytes(), outs[1].Bytes()) {
-		t.Fatal("JSONL output differs between -parallel 1 and -parallel 8")
+	for i := 1; i < len(outs); i++ {
+		if !bytes.Equal(outs[0].Bytes(), outs[i].Bytes()) {
+			t.Fatal("JSONL output differs across -parallel 1/4/16")
+		}
 	}
 	// One run record per (scenario, replication), one summary per grid
 	// point.

@@ -1,0 +1,300 @@
+package exp
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"gonoc/internal/core"
+	"gonoc/internal/stats"
+)
+
+// smallOpts keeps per-test figure generation fast: two replications
+// still exercise the CI95 columns.
+func smallOpts() FigureOpts {
+	return FigureOpts{
+		Sizes:            []int{8},
+		LoadFractions:    []float64{0.5, 1.5},
+		UniformFlitRates: []float64{0.1, 0.4},
+		Warmup:           300,
+		Measure:          3000,
+		Seed:             1,
+		Reps:             2,
+	}
+}
+
+func seriesNames(tab *core.Table) []string {
+	out := make([]string, len(tab.Series))
+	for i, s := range tab.Series {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func TestFig7LatencyRisesPastSaturation(t *testing.T) {
+	tab, err := Fig7HotspotLatency(context.Background(), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tab.Series {
+		if s.Len() != 2 {
+			t.Fatalf("%s: %d points", s.Name, s.Len())
+		}
+		if s.Y[1] <= s.Y[0] {
+			t.Fatalf("%s: latency did not rise past saturation (%v -> %v)",
+				s.Name, s.Y[0], s.Y[1])
+		}
+		// Past saturation the queueing delay dominates: at least 3x.
+		if s.Y[1] < 3*s.Y[0] {
+			t.Fatalf("%s: latency knee too soft (%v -> %v)", s.Name, s.Y[0], s.Y[1])
+		}
+		if !s.HasCI() || len(s.CI) != s.Len() {
+			t.Fatalf("%s: missing CI column", s.Name)
+		}
+	}
+}
+
+func TestFig8DoubleHotspotCurves(t *testing.T) {
+	tab, err := Fig8DoubleHotspotThroughput(context.Background(), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ring A,B + spidergon A,B + mesh A,B,C = 7 curves at N=8.
+	if len(tab.Series) != 7 {
+		t.Fatalf("series = %d: %v", len(tab.Series), seriesNames(tab))
+	}
+	// Saturated value ≈ 2 flits/cycle for every placement, except the
+	// ring's asymmetric placement B where the low-bisection fabric
+	// (not the sinks) caps slightly lower — a real effect the 8-node
+	// ring exhibits at ~1.65.
+	for _, s := range tab.Series {
+		last := s.Y[len(s.Y)-1]
+		lo := 1.6 // short measurement window; full-scale runs reach ~1.95
+		if s.Name == "ring-8-B" {
+			lo = 1.5
+		}
+		if last < lo || last > 2.01 {
+			t.Fatalf("%s: saturated double-hotspot throughput %v", s.Name, last)
+		}
+	}
+}
+
+func TestFig9DoubleHotspotLatencyKnee(t *testing.T) {
+	tab, err := Fig9DoubleHotspotLatency(context.Background(), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tab.Series {
+		if s.Y[1] <= s.Y[0] {
+			t.Fatalf("%s: no latency rise", s.Name)
+		}
+	}
+}
+
+func TestFig11RingWorstAtHighLoad(t *testing.T) {
+	o := smallOpts()
+	o.Sizes = []int{16}
+	o.UniformFlitRates = []float64{0.4}
+	tab, err := Fig11UniformLatency(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ring, sg, mesh float64
+	for _, s := range tab.Series {
+		switch {
+		case strings.HasPrefix(s.Name, "ring"):
+			ring = s.Y[0]
+		case strings.HasPrefix(s.Name, "spidergon"):
+			sg = s.Y[0]
+		case strings.HasPrefix(s.Name, "mesh"):
+			mesh = s.Y[0]
+		}
+	}
+	if ring <= sg || ring <= mesh {
+		t.Fatalf("ring latency %v not worst (sg %v, mesh %v)", ring, sg, mesh)
+	}
+}
+
+func TestFigureOptsDefaults(t *testing.T) {
+	var zero FigureOpts
+	d := zero.withDefaults()
+	if len(d.Sizes) == 0 || len(d.LoadFractions) == 0 || len(d.UniformFlitRates) == 0 {
+		t.Fatal("defaults missing")
+	}
+	if d.Warmup == 0 || d.Measure == 0 || d.Seed == 0 || d.Reps < 2 {
+		t.Fatal("default cycles/seed/reps missing")
+	}
+	// Explicit values survive.
+	o := FigureOpts{Sizes: []int{10}, Warmup: 7, Reps: 1}.withDefaults()
+	if o.Sizes[0] != 10 || o.Warmup != 7 || o.Reps != 1 {
+		t.Fatal("explicit values overwritten")
+	}
+}
+
+func TestFig5AnalyticColumnsMatchFormulas(t *testing.T) {
+	// The analytic columns do not require simulation correctness; they
+	// must equal the closed forms exactly.
+	o := smallOpts()
+	tab, err := Fig5Validation(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var an *stats.Series
+	for _, s := range tab.Series {
+		if s.Name == "analytic-spidergon" {
+			an = s
+		}
+	}
+	y, ok := an.YAt(8)
+	if !ok || math.Abs(y-11.0/7.0) > 1e-9 { // SpidergonPathSum(8)/7
+		t.Fatalf("analytic spidergon E[D](8) = %v", y)
+	}
+}
+
+func TestFig5TableSmall(t *testing.T) {
+	o := FigureOpts{Sizes: []int{8}, Warmup: 200, Measure: 3000, Seed: 1, Reps: 2}
+	tab, err := Fig5Validation(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Series) != 6 {
+		t.Fatalf("series = %d", len(tab.Series))
+	}
+	// Each analytic value is close to its simulated counterpart.
+	for _, kind := range []string{"ring", "spidergon", "mesh"} {
+		var an, sim *stats.Series
+		for _, s := range tab.Series {
+			if s.Name == "analytic-"+kind {
+				an = s
+			}
+			if s.Name == "sim-"+kind {
+				sim = s
+			}
+		}
+		a, _ := an.YAt(8)
+		m, _ := sim.YAt(8)
+		if math.Abs(a-m) > 0.2*a {
+			t.Fatalf("%s: analytic %v vs sim %v", kind, a, m)
+		}
+	}
+}
+
+func TestFig6TableSmall(t *testing.T) {
+	o := FigureOpts{
+		Sizes:         []int{8},
+		LoadFractions: []float64{0.5, 1.5},
+		Warmup:        500,
+		Measure:       5000,
+		Seed:          1,
+		Reps:          2,
+	}
+	tab, err := Fig6HotspotThroughput(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ring, spidergon, mesh-corner, mesh-center = 4 curves.
+	if len(tab.Series) != 4 {
+		t.Fatalf("series = %d: %v", len(tab.Series), seriesNames(tab))
+	}
+	// At 1.5x saturation every curve is pinned at ≈ 1 flit/cycle.
+	for _, s := range tab.Series {
+		if got := s.Y[len(s.Y)-1]; got < 0.9 || got > 1.01 {
+			t.Fatalf("%s: saturated throughput %v", s.Name, got)
+		}
+	}
+}
+
+func TestFig10TableSmall(t *testing.T) {
+	o := FigureOpts{
+		Sizes:            []int{8},
+		UniformFlitRates: []float64{0.1, 0.4},
+		Warmup:           500,
+		Measure:          5000,
+		Seed:             1,
+		Reps:             2,
+	}
+	tab, err := Fig10UniformThroughput(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Series) != 3 {
+		t.Fatalf("series = %d", len(tab.Series))
+	}
+	for _, s := range tab.Series {
+		if s.Len() != 2 {
+			t.Fatalf("%s: %d points", s.Name, s.Len())
+		}
+	}
+}
+
+func TestHotspotFigureUsesSaturationGrid(t *testing.T) {
+	// x values of a hotspot curve are fractions of λ_sat in flits/cycle:
+	// for N=8, k=1: λ_sat = 1/42 pkts/cycle -> 1/7 flits/cycle.
+	o := smallOpts()
+	tab, err := Fig6HotspotThroughput(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.Series[0]
+	want0 := 0.5 / 7.0
+	if math.Abs(s.X[0]-want0) > 1e-9 {
+		t.Fatalf("first x = %v, want %v", s.X[0], want0)
+	}
+}
+
+func TestEvenSize(t *testing.T) {
+	if evenSize(7) != 8 || evenSize(8) != 8 {
+		t.Fatal("evenSize")
+	}
+	sizes := evenSizes([]int{7, 8, 16})
+	if len(sizes) != 2 || sizes[0] != 8 || sizes[1] != 16 {
+		t.Fatalf("evenSizes = %v", sizes)
+	}
+}
+
+func TestHotspotVariants(t *testing.T) {
+	v := hotspotVariants(core.Mesh, 8, 1)
+	if len(v) != 2 {
+		t.Fatalf("mesh single variants = %d", len(v))
+	}
+	v = hotspotVariants(core.Ring, 8, 1)
+	if len(v) != 1 || v[0].targets[0] != 0 {
+		t.Fatalf("ring single variants = %v", v)
+	}
+	v = hotspotVariants(core.Mesh, 8, 2)
+	if len(v) != 3 {
+		t.Fatalf("mesh double variants = %d", len(v))
+	}
+	v = hotspotVariants(core.Spidergon, 8, 2)
+	if len(v) != 2 {
+		t.Fatalf("spidergon double variants = %d", len(v))
+	}
+}
+
+// Figure tables are byte-identical across runner parallelism: the CSV
+// rendering (CI columns included) must not depend on scheduling.
+func TestFigureTableDeterministicAcrossParallelism(t *testing.T) {
+	var outs []string
+	for _, parallel := range []int{1, 4, 16} {
+		o := smallOpts()
+		o.Parallel = parallel
+		tab, err := Fig6HotspotThroughput(context.Background(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, tab.CSV()+"\n"+tab.Text())
+	}
+	if outs[0] != outs[1] || outs[1] != outs[2] {
+		t.Fatal("figure table differs across -parallel 1/4/16")
+	}
+}
+
+// Figure generation is cancellable through the plumbed context.
+func TestFigureCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Fig10UniformThroughput(ctx, smallOpts()); err == nil {
+		t.Fatal("cancelled figure generation returned nil error")
+	}
+}

@@ -1,0 +1,110 @@
+package exp
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"gonoc/internal/core"
+)
+
+// MergeRuns reads JSONL campaign streams (shard outputs, in shard
+// order) from the readers, copies every run record to w verbatim, and
+// appends the summary records an unsharded run would have produced —
+// so merging the N shard files of a campaign reproduces the unsharded
+// output file byte for byte. Summary records encountered in the input
+// (from non-shard streams) are dropped and recomputed. The aggregates
+// are also returned.
+//
+// One caveat: a replication that measured no packet writes its NaN
+// metrics as zeros on the wire; MergeRuns restores them from the
+// Ejected counter (zero ejections ⇔ NaN latency family), keeping the
+// recomputed summaries exact.
+func MergeRuns(readers []io.Reader, w io.Writer) ([]Aggregate, error) {
+	agg := newAggregator()
+	grids := map[string]int{}
+	for ri, r := range readers {
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+		line := 0
+		for sc.Scan() {
+			line++
+			var rec runRecord
+			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+				return nil, fmt.Errorf("exp: merge input %d line %d: %w", ri, line, err)
+			}
+			switch rec.Kind {
+			case "summary":
+				continue // recomputed below
+			case "run":
+			default:
+				return nil, fmt.Errorf("exp: merge input %d line %d: unknown kind %q", ri, line, rec.Kind)
+			}
+			if w != nil {
+				// Two writes, not append: sc.Bytes aliases the scanner's
+				// buffer, which an append could scribble on.
+				if _, err := w.Write(sc.Bytes()); err != nil {
+					return nil, err
+				}
+				if _, err := w.Write([]byte{'\n'}); err != nil {
+					return nil, err
+				}
+			}
+			key := fmt.Sprintf("%s|%s|%d|%s|%x", rec.Campaign, rec.Topo, rec.Nodes, rec.Traffic, rec.FlitRate)
+			grid, ok := grids[key]
+			if !ok {
+				grid = len(grids)
+				grids[key] = grid
+			}
+			agg.add(Outcome{
+				Campaign: rec.Campaign,
+				Point: Point{
+					GridIndex: grid,
+					Rep:       rec.Rep,
+					Topo:      rec.Topo,
+					Nodes:     rec.Nodes,
+					Traffic:   rec.Traffic,
+					FlitRate:  rec.FlitRate,
+				},
+				Result: rec.result(),
+			})
+		}
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("exp: merge input %d: %w", ri, err)
+		}
+	}
+	aggs := agg.aggregates()
+	if w != nil {
+		jw := NewJSONLWriter(w)
+		for _, a := range aggs {
+			if err := jw.Summary(a); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return aggs, nil
+}
+
+// result reconstructs the aggregation-relevant slice of a core.Result
+// from the wire record, restoring the NaNs the wire form flattened to
+// zero: the latency family is NaN exactly when no packet completed
+// within the measurement window.
+func (r runRecord) result() core.Result {
+	res := core.Result{
+		Throughput:       r.Throughput,
+		AcceptedFlitRate: r.Accepted,
+		MeanLatency:      r.Latency,
+		P95Latency:       r.P95Latency,
+		MeanHops:         r.MeanHops,
+		InjectedPackets:  r.Injected,
+		EjectedPackets:   r.Ejected,
+		EnergyPerPacket:  r.EnergyPerPk,
+	}
+	if r.Ejected == 0 {
+		nan := math.NaN()
+		res.MeanLatency, res.P95Latency, res.MeanHops, res.EnergyPerPacket = nan, nan, nan, nan
+	}
+	return res
+}

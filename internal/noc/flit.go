@@ -32,7 +32,8 @@ type Packet struct {
 	// Hops counts link traversals of the head flit.
 	Hops int
 
-	recv int // flits consumed at the destination so far
+	recv  int    // flits consumed at the destination so far
+	flits []Flit // backing storage for all of the packet's flits
 }
 
 // String renders a compact identification of the packet.

@@ -43,11 +43,11 @@ type Network struct {
 // accounting for the sink side.
 type ni struct {
 	node    int
-	queue   []*Packet  // IP memory, FIFO
-	sending *Packet    // packet currently being injected flit by flit
-	nextSeq int        // next flit index of sending
-	route   routeEntry // output assignment of sending's worm
-	vc      int        // routing VC state of sending's head path start
+	queue   fifo[*Packet] // IP memory, FIFO
+	sending *Packet       // packet currently being injected flit by flit
+	nextSeq int           // next flit index of sending
+	route   routeEntry    // output assignment of sending's worm
+	vc      int           // routing VC state of sending's head path start
 }
 
 // NewNetwork builds a network over t using algorithm a, buffer/interface
@@ -108,7 +108,7 @@ func (n *Network) InjectPacket(src, dst int) (*Packet, error) {
 		return nil, fmt.Errorf("noc: inject with src == dst == %d", src)
 	}
 	q := n.nis[src]
-	if n.cfg.SourceQueueCap > 0 && len(q.queue) >= n.cfg.SourceQueueCap {
+	if n.cfg.SourceQueueCap > 0 && q.queue.len() >= n.cfg.SourceQueueCap {
 		return nil, ErrSourceQueueFull
 	}
 	p := &Packet{
@@ -118,9 +118,16 @@ func (n *Network) InjectPacket(src, dst int) (*Packet, error) {
 		Len:          n.cfg.PacketLen,
 		CreatedCycle: n.cycle,
 	}
+	// All of the packet's flits share one backing array, allocated up
+	// front: injection hands out interior pointers instead of making a
+	// fresh allocation per flit.
+	p.flits = make([]Flit, p.Len)
+	for i := range p.flits {
+		p.flits[i] = Flit{Pkt: p, Seq: i}
+	}
 	n.nextPktID++
 	n.created++
-	q.queue = append(q.queue, p)
+	q.queue.push(p)
 	return p, nil
 }
 
@@ -147,7 +154,7 @@ func (n *Network) canAdmit(q *outVC, pkt *Packet) bool {
 	if n.cfg.Switching == Wormhole {
 		return !q.full(n.cfg.OutBufCap)
 	}
-	return n.cfg.OutBufCap-len(q.q) >= pkt.Len
+	return n.cfg.OutBufCap-q.q.len() >= pkt.Len
 }
 
 // canDepart reports whether the flit at the head of the output queue
@@ -161,7 +168,7 @@ func (n *Network) canDepart(q *outVC) bool {
 	if head.IsTail() {
 		return true
 	}
-	for _, f := range q.q[1:] {
+	for _, f := range q.flits()[1:] {
 		if f.Pkt == head.Pkt && f.IsTail() {
 			return true
 		}
@@ -302,13 +309,10 @@ func (n *Network) injectPhase() {
 		budget := n.cfg.InjectRate
 		for budget > 0 {
 			if q.sending == nil {
-				if len(q.queue) == 0 {
+				if q.queue.len() == 0 {
 					break
 				}
-				q.sending = q.queue[0]
-				copy(q.queue, q.queue[1:])
-				q.queue[len(q.queue)-1] = nil
-				q.queue = q.queue[:len(q.queue)-1]
+				q.sending = q.queue.pop()
 				q.nextSeq = 0
 				q.vc = 0
 				q.route = routeEntry{}
@@ -335,7 +339,9 @@ func (n *Network) injectPhase() {
 				n.col.SourceBlocked(n.cycle)
 				break
 			}
-			f := &Flit{Pkt: pkt, Seq: q.nextSeq, VC: q.route.vc, lastMove: n.cycle + 1}
+			f := &pkt.flits[q.nextSeq]
+			f.VC = q.route.vc
+			f.lastMove = n.cycle + 1
 			ovc.push(f)
 			n.moved = true
 			q.nextSeq++
@@ -411,7 +417,7 @@ func (n *Network) InjectedPackets() uint64 { return n.injected }
 func (n *Network) QueuedPackets() int {
 	q := 0
 	for _, s := range n.nis {
-		q += len(s.queue)
+		q += s.queue.len()
 		if s.sending != nil {
 			q++
 		}
@@ -453,15 +459,15 @@ func (n *Network) CheckConservation() error {
 	seen := make(map[uint64]bool)
 	for _, r := range n.routers {
 		for _, p := range r.in {
-			for _, b := range p.bufs {
-				for _, f := range b {
+			for i := range p.bufs {
+				for _, f := range p.bufs[i].live() {
 					seen[f.Pkt.ID] = true
 				}
 			}
 		}
 		for _, op := range r.out {
 			for _, v := range op.vcs {
-				for _, f := range v.q {
+				for _, f := range v.flits() {
 					seen[f.Pkt.ID] = true
 				}
 			}
@@ -469,7 +475,7 @@ func (n *Network) CheckConservation() error {
 	}
 	queued := uint64(0)
 	for _, s := range n.nis {
-		queued += uint64(len(s.queue))
+		queued += uint64(s.queue.len())
 		if s.sending != nil {
 			delete(seen, s.sending.ID) // counted as sending already
 		}

@@ -104,7 +104,7 @@ func (v congestionView) OutputOccupancy(d topology.Direction, vc int) int {
 		return v.cap + 1
 	}
 	q := op.vcs[vc]
-	occ := len(q.q)
+	occ := q.q.len()
 	if q.owner != nil {
 		occ++
 	}

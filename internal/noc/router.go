@@ -4,6 +4,52 @@ import (
 	"gonoc/internal/topology"
 )
 
+// fifo is a head-index queue: pop returns the head in O(1) without
+// shifting the remaining elements (the seed implementation copied the
+// whole backing slice on every pop). The backing slice is reset when
+// the queue drains and compacted once the dead prefix crosses a
+// threshold, so steady-state push/pop traffic cannot grow it without
+// bound.
+type fifo[T any] struct {
+	items []T
+	start int
+}
+
+// compactAt is the minimum dead prefix before a fifo considers sliding
+// the live elements down; compaction additionally waits until the dead
+// prefix covers at least half the backing array, so each compaction
+// moves no more elements than the pops that earned it — amortized O(1)
+// even for the unbounded NI source queue past saturation.
+const compactAt = 32
+
+func (q *fifo[T]) len() int { return len(q.items) - q.start }
+func (q *fifo[T]) head() T  { return q.items[q.start] }
+func (q *fifo[T]) push(v T) { q.items = append(q.items, v) }
+
+func (q *fifo[T]) pop() T {
+	var zero T
+	v := q.items[q.start]
+	q.items[q.start] = zero
+	q.start++
+	switch {
+	case q.start == len(q.items):
+		q.items = q.items[:0]
+		q.start = 0
+	case q.start >= compactAt && q.start*2 >= len(q.items):
+		n := copy(q.items, q.items[q.start:])
+		for i := n; i < len(q.items); i++ {
+			q.items[i] = zero
+		}
+		q.items = q.items[:n]
+		q.start = 0
+	}
+	return v
+}
+
+// live returns the queued elements in FIFO order. The slice aliases the
+// queue; callers must not retain it across a push or pop.
+func (q *fifo[T]) live() []T { return q.items[q.start:] }
+
 // outVC is one output queue of a physical output channel — the paper's
 // "multiple output queues for each physical link". It is a FIFO of
 // flits with an ownership discipline guaranteeing that the flits of two
@@ -12,23 +58,18 @@ import (
 // cleared when its tail flit is accepted (trailing packets then queue
 // strictly behind).
 type outVC struct {
-	q     []*Flit
+	q     fifo[*Flit]
 	owner *Packet
 }
 
-func (v *outVC) full(cap int) bool { return len(v.q) >= cap }
-func (v *outVC) empty() bool       { return len(v.q) == 0 }
-func (v *outVC) head() *Flit       { return v.q[0] }
+func (v *outVC) full(cap int) bool { return v.q.len() >= cap }
+func (v *outVC) empty() bool       { return v.q.len() == 0 }
+func (v *outVC) head() *Flit       { return v.q.head() }
+func (v *outVC) push(f *Flit)      { v.q.push(f) }
+func (v *outVC) pop() *Flit        { return v.q.pop() }
 
-func (v *outVC) push(f *Flit) { v.q = append(v.q, f) }
-
-func (v *outVC) pop() *Flit {
-	f := v.q[0]
-	copy(v.q, v.q[1:])
-	v.q[len(v.q)-1] = nil
-	v.q = v.q[:len(v.q)-1]
-	return f
-}
+// flits returns the queued flits in FIFO order (see fifo.live).
+func (v *outVC) flits() []*Flit { return v.q.live() }
 
 // outPort is one physical output channel with its VC queues and the
 // round-robin pointer arbitrating them onto the link.
@@ -59,31 +100,22 @@ type routeEntry struct {
 // re-enter VC 0 past the dateline and close a cycle.
 type inPort struct {
 	ch    topology.Channel
-	bufs  [][]*Flit    // per-VC receive slots
-	route []routeEntry // per-VC switching state
-	rrVC  int          // round-robin VC pointer for the switch stage
+	bufs  []fifo[*Flit] // per-VC receive slots
+	route []routeEntry  // per-VC switching state
+	rrVC  int           // round-robin VC pointer for the switch stage
 }
 
-func (p *inPort) full(vc, cap int) bool { return len(p.bufs[vc]) >= cap }
-func (p *inPort) empty(vc int) bool     { return len(p.bufs[vc]) == 0 }
-func (p *inPort) head(vc int) *Flit     { return p.bufs[vc][0] }
-
-func (p *inPort) push(vc int, f *Flit) { p.bufs[vc] = append(p.bufs[vc], f) }
-
-func (p *inPort) pop(vc int) *Flit {
-	b := p.bufs[vc]
-	f := b[0]
-	copy(b, b[1:])
-	b[len(b)-1] = nil
-	p.bufs[vc] = b[:len(b)-1]
-	return f
-}
+func (p *inPort) full(vc, cap int) bool { return p.bufs[vc].len() >= cap }
+func (p *inPort) empty(vc int) bool     { return p.bufs[vc].len() == 0 }
+func (p *inPort) head(vc int) *Flit     { return p.bufs[vc].head() }
+func (p *inPort) push(vc int, f *Flit)  { p.bufs[vc].push(f) }
+func (p *inPort) pop(vc int) *Flit      { return p.bufs[vc].pop() }
 
 // buffered counts flits across all VC slots of the port.
 func (p *inPort) buffered() int {
 	n := 0
-	for _, b := range p.bufs {
-		n += len(b)
+	for i := range p.bufs {
+		n += p.bufs[i].len()
 	}
 	return n
 }
@@ -100,7 +132,7 @@ type router struct {
 func newRouter(node int, t topology.Topology, vcs int) *router {
 	r := &router{node: node}
 	for _, c := range t.In(node) {
-		r.in = append(r.in, &inPort{ch: c, bufs: make([][]*Flit, vcs), route: make([]routeEntry, vcs)})
+		r.in = append(r.in, &inPort{ch: c, bufs: make([]fifo[*Flit], vcs), route: make([]routeEntry, vcs)})
 	}
 	for _, c := range t.Out(node) {
 		op := &outPort{ch: c}
@@ -140,7 +172,7 @@ func (r *router) bufferedFlits() int {
 	}
 	for _, p := range r.out {
 		for _, v := range p.vcs {
-			n += len(v.q)
+			n += v.q.len()
 		}
 	}
 	return n

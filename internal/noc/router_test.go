@@ -44,7 +44,7 @@ func TestOutVCFullRespectsCapacity(t *testing.T) {
 
 func TestInPortPerVCSlots(t *testing.T) {
 	ch := topology.Channel{ID: 0, Src: 0, Dst: 1, Dir: topology.DirClockwise}
-	p := &inPort{ch: ch, bufs: make([][]*Flit, 2), route: make([]routeEntry, 2)}
+	p := &inPort{ch: ch, bufs: make([]fifo[*Flit], 2), route: make([]routeEntry, 2)}
 	pk := &Packet{Len: 2}
 	p.push(0, &Flit{Pkt: pk, Seq: 0, VC: 0})
 	p.push(1, &Flit{Pkt: pk, Seq: 1, VC: 1})

@@ -324,17 +324,45 @@ func (b *BatchMeans) Mean() float64 { return b.batches.Mean() }
 func (b *BatchMeans) CI95() float64 { return b.batches.CI95() }
 
 // Series is an append-only time series of (x, y) points, used to build
-// the figure curves (throughput or latency versus injection rate).
+// the figure curves (throughput or latency versus injection rate). A
+// series built from replicated runs additionally carries the 95%
+// confidence half-width of each point in CI, parallel to Y; a series
+// without replication information leaves CI nil.
 type Series struct {
 	Name string
 	X    []float64
 	Y    []float64
+	CI   []float64
 }
 
-// Append adds one point.
+// Append adds one point. Mixing Append with AppendCI on the same series
+// would desynchronise CI from Y, so a series sticks to one form.
 func (s *Series) Append(x, y float64) {
 	s.X = append(s.X, x)
 	s.Y = append(s.Y, y)
+}
+
+// AppendCI adds one point with its 95% confidence half-width.
+func (s *Series) AppendCI(x, y, ci float64) {
+	s.Append(x, y)
+	s.CI = append(s.CI, ci)
+}
+
+// HasCI reports whether the series carries confidence half-widths.
+func (s *Series) HasCI() bool { return s.CI != nil }
+
+// CIAt returns the confidence half-width recorded at x, with ok=false
+// when x was never recorded or the series carries no intervals.
+func (s *Series) CIAt(x float64) (ci float64, ok bool) {
+	if s.CI == nil {
+		return 0, false
+	}
+	for i, v := range s.X {
+		if v == x {
+			return s.CI[i], true
+		}
+	}
+	return 0, false
 }
 
 // Len returns the number of points.
