@@ -6,7 +6,7 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: all build test vet fmt fmt-check bench ci
+.PHONY: all build test vet fmt fmt-check bench bench-check bench-baseline ci
 
 all: build
 
@@ -29,4 +29,15 @@ fmt-check:
 bench:
 	set -o pipefail; $(GO) test -json -bench=. -benchtime=1x -run='^$$' ./... | tee bench-smoke.json
 
-ci: build vet fmt-check test bench
+# bench-check is the tracked perf-regression gate: it re-runs the
+# deterministic PerfGate benchmarks and fails when any gated work
+# counter regressed >15% against the committed bench-baseline.json.
+bench-check:
+	set -o pipefail; $(GO) test -json -bench=PerfGate -benchtime=1x -run='^$$' . | tee bench-gate.json | $(GO) run ./cmd/benchgate -baseline bench-baseline.json
+
+# bench-baseline refreshes the committed baseline after an intentional
+# perf change; commit the resulting bench-baseline.json.
+bench-baseline:
+	set -o pipefail; $(GO) test -json -bench=PerfGate -benchtime=1x -run='^$$' . | $(GO) run ./cmd/benchgate -baseline bench-baseline.json -update
+
+ci: build vet fmt-check test bench bench-check

@@ -262,6 +262,82 @@ func itoa(v int) string {
 	return string(buf[i:])
 }
 
+// --- engine benchmarks and the perf-regression gate ---
+
+// engineScenario is the perf-gate workload: a mesh-8x8 uniform sweep
+// point at the given fraction of the analytic saturation bound.
+func engineScenario(frac float64) core.Scenario {
+	topo := topology.MustMesh(8, 8)
+	bound := analysis.UniformSaturationBound(topo) // flits/cycle/source
+	s := core.NewScenario(core.Mesh, 64, core.UniformTraffic, frac*bound/6)
+	s.Warmup, s.Measure = 300, 3000
+	return s
+}
+
+// BenchmarkEngineMesh8x8 compares the activity-driven engine (with its
+// idle fast-forward) against the reference sweep engine on the paper's
+// largest mesh, below saturation and past it. The low-load ratio is
+// the headline number of the activity-driven refactor; the saturated
+// pair guards against a regression when every router is busy.
+func BenchmarkEngineMesh8x8(b *testing.B) {
+	loads := []struct {
+		name string
+		frac float64
+	}{{"low15", 0.15}, {"low25", 0.25}, {"saturated", 1.5}}
+	for _, load := range loads {
+		for _, eng := range []noc.Engine{noc.EngineActive, noc.EngineSweep} {
+			s := engineScenario(load.frac)
+			s.Engine = eng
+			b.Run(load.name+"/"+eng.String(), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Run(s); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPerfGate feeds the tracked perf-regression gate
+// (bench-baseline.json + cmd/benchgate, run by `make bench-check`).
+// The gated metrics are deterministic work counters — worklist visits
+// per simulated cycle and the fraction of cycles actually ticked (not
+// fast-forwarded) — so the gate is immune to host speed and CI noise:
+// a >15% regression means the active sets or the idle fast-forward
+// genuinely lost pruning power, not that the runner was slow.
+func BenchmarkPerfGate(b *testing.B) {
+	loads := []struct {
+		name string
+		frac float64
+	}{{"idle", 0}, {"low", 0.25}, {"knee", 0.9}, {"saturated", 1.5}}
+	for _, load := range loads {
+		s := engineScenario(load.frac)
+		if load.frac == 0 {
+			// The idle point gates the fast-forward itself: traffic so
+			// sparse the network fully drains between arrivals, so most
+			// cycles are skipped and ticked-frac sits far below 1 — a
+			// broken fast-forward drives it to 1.0 and trips the gate
+			// (at the other points ticked-frac ~1 and only visits/cycle
+			// has headroom).
+			s = core.NewScenario(core.Spidergon, 16, core.UniformTraffic, 0.0005)
+			s.Warmup, s.Measure = 0, 20000
+		}
+		b.Run(load.name, func(b *testing.B) {
+			var perf noc.PerfStats
+			for i := 0; i < b.N; i++ {
+				var err error
+				if _, perf, err = core.RunPerf(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+			cycles := float64(s.Warmup + s.Measure + 1)
+			b.ReportMetric(float64(perf.RouterVisits)/cycles, "visits/cycle")
+			b.ReportMetric((cycles-float64(perf.SkippedCycles))/cycles, "ticked-frac")
+		})
+	}
+}
+
 // --- substrate micro-benchmarks ---
 
 // BenchmarkNetworkStep measures the per-cycle cost of a loaded 16-node

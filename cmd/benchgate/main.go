@@ -1,0 +1,217 @@
+// Command benchgate is the tracked perf-regression gate: it reads a
+// `go test -json -bench` stream, extracts the benchmark metrics named
+// by a committed baseline file, and fails (exit 1) when any gated
+// metric regressed by more than the allowed tolerance.
+//
+// The committed baseline (bench-baseline.json) tracks *deterministic*
+// work counters — worklist visits per simulated cycle and the fraction
+// of cycles actually ticked rather than fast-forwarded — which are
+// pure functions of the benchmark scenario. Unlike ns/op they are
+// identical on every machine, so the same baseline gates a laptop and
+// a CI runner without noise margins hiding real regressions. Wall-time
+// metrics can still be tracked by adding ns/op entries to a local
+// baseline; they are compared the same way.
+//
+// Usage:
+//
+//	go test -json -bench=PerfGate -benchtime=1x -run='^$' . | benchgate -baseline bench-baseline.json
+//	benchgate -baseline bench-baseline.json -input bench-gate.json
+//	benchgate -baseline bench-baseline.json -input bench-gate.json -update
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed gate specification.
+type Baseline struct {
+	// Note documents the methodology for readers of the JSON file.
+	Note string `json:"note,omitempty"`
+	// Tolerance is the allowed relative regression (0.15 = 15%) for
+	// entries that do not set their own.
+	Tolerance float64 `json:"tolerance"`
+	// Entries are the gated (benchmark, metric) pairs. All metrics are
+	// lower-is-better.
+	Entries []Entry `json:"entries"`
+}
+
+// Entry gates one metric of one benchmark.
+type Entry struct {
+	// Bench names the benchmark, without the "Benchmark" prefix and
+	// without the -GOMAXPROCS suffix, e.g. "PerfGate/low".
+	Bench string `json:"bench"`
+	// Metric is the unit string as printed by the benchmark, e.g.
+	// "visits/cycle" or "ns/op".
+	Metric string `json:"metric"`
+	// Value is the baseline measurement.
+	Value float64 `json:"value"`
+	// Tolerance overrides the file-level tolerance when positive.
+	Tolerance float64 `json:"tolerance,omitempty"`
+}
+
+// testEvent is the subset of the `go test -json` stream we need.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts (name, metric->value) from one benchmark result
+// line, or ok=false when the line is not one.
+func parseBench(line string) (name string, metrics map[string]float64, ok bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", nil, false
+	}
+	fields := strings.Fields(line)
+	// name, iterations, then value/unit pairs.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return "", nil, false
+	}
+	name = procSuffix.ReplaceAllString(strings.TrimPrefix(fields[0], "Benchmark"), "")
+	metrics = make(map[string]float64)
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	return name, metrics, true
+}
+
+// collect reads a `go test -json` stream (or raw bench output) and
+// returns metric values keyed by "bench\x00metric". The -json encoder
+// splits one benchmark result line across several output events (the
+// name flushes before the timings), so the stream's output text is
+// reassembled first and parsed line by line.
+func collect(r io.Reader) (map[string]float64, error) {
+	var text strings.Builder
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "{") {
+			text.WriteString(line)
+			text.WriteByte('\n')
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			continue // foreign line in the stream
+		}
+		if ev.Action == "output" {
+			text.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	got := make(map[string]float64)
+	for _, line := range strings.Split(text.String(), "\n") {
+		if name, metrics, ok := parseBench(strings.TrimSpace(line)); ok {
+			for unit, v := range metrics {
+				got[name+"\x00"+unit] = v
+			}
+		}
+	}
+	return got, nil
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "bench-baseline.json", "committed baseline file")
+		inputPath    = flag.String("input", "", "bench output (go test -json stream); default stdin")
+		update       = flag.Bool("update", false, "rewrite the baseline's values from the observed run")
+	)
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", *baselinePath, err))
+	}
+	if base.Tolerance <= 0 {
+		base.Tolerance = 0.15
+	}
+
+	in := io.Reader(os.Stdin)
+	if *inputPath != "" {
+		f, err := os.Open(*inputPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := collect(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *update {
+		for i := range base.Entries {
+			e := &base.Entries[i]
+			v, ok := got[e.Bench+"\x00"+e.Metric]
+			if !ok {
+				fatal(fmt.Errorf("no observation for %s %s", e.Bench, e.Metric))
+			}
+			e.Value = v
+		}
+		out, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(*baselinePath, out, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: %s updated (%d entries)\n", *baselinePath, len(base.Entries))
+		return
+	}
+
+	failed := 0
+	for _, e := range base.Entries {
+		tol := e.Tolerance
+		if tol <= 0 {
+			tol = base.Tolerance
+		}
+		v, ok := got[e.Bench+"\x00"+e.Metric]
+		switch {
+		case !ok:
+			fmt.Printf("FAIL %-28s %-14s missing from the bench run\n", e.Bench, e.Metric)
+			failed++
+		case v > e.Value*(1+tol):
+			fmt.Printf("FAIL %-28s %-14s %.6g exceeds baseline %.6g by more than %.0f%%\n",
+				e.Bench, e.Metric, v, e.Value, tol*100)
+			failed++
+		case v < e.Value*(1-tol):
+			fmt.Printf("ok   %-28s %-14s %.6g improved past baseline %.6g — consider -update\n",
+				e.Bench, e.Metric, v, e.Value)
+		default:
+			fmt.Printf("ok   %-28s %-14s %.6g (baseline %.6g, tolerance %.0f%%)\n",
+				e.Bench, e.Metric, v, e.Value, tol*100)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("benchgate: %d metric(s) regressed\n", failed)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d metric(s) within tolerance\n", len(base.Entries))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"gonoc/internal/core"
+	"gonoc/internal/prof"
 )
 
 func main() {
@@ -38,8 +39,20 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		jsonOut = flag.Bool("json", false, "emit the result as JSON")
 		scnFile = flag.String("config", "", "JSON scenario file (overrides other flags)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	if *scnFile != "" {
 		data, err := os.ReadFile(*scnFile)

@@ -31,6 +31,7 @@ import (
 	"gonoc/internal/analysis"
 	"gonoc/internal/core"
 	"gonoc/internal/exp"
+	"gonoc/internal/prof"
 	"gonoc/internal/stats"
 )
 
@@ -53,10 +54,42 @@ func main() {
 		cacheDir = flag.String("cache", "", "directory for the content-addressed result cache")
 		ciTarget = flag.Float64("ci-target", 0, "adaptive replication: target CI95/mean ratio (0 = fixed reps)")
 		maxReps  = flag.Int("max-reps", 0, "cap on adaptive replications per point (0 = 4x reps)")
-		refine   = flag.Int("refine", 0, "insert up to this many extra rates around each curve's saturation knee")
+		refine   = flag.Int("refine", 0, "insert up to this many extra rates around each curve's saturation knee (iterated to a fixed point)")
 		merge    = flag.String("merge", "", "merge shard JSONL files (comma-separated) instead of simulating")
+		compact  = flag.Bool("cache-compact", false, "compact the -cache store (drop superseded/duplicate entries) and exit; run only while no campaign is writing to it")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+	}()
+
+	if *compact {
+		if *cacheDir == "" {
+			fatal(fmt.Errorf("-cache-compact needs -cache"))
+		}
+		cache, err := exp.OpenFileCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		dropped, err := cache.Compact()
+		if err != nil {
+			fatal(err)
+		}
+		if err := cache.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "# cache: compacted, %d entries kept, %d lines dropped\n", cache.Len(), dropped)
+		return
+	}
 
 	if *merge != "" {
 		mergeShards(*merge, *out, *lat, *csv)

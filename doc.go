@@ -9,7 +9,19 @@
 // flit-level network model, Poisson/hot-spot/uniform traffic
 // generation, a scenario layer (internal/core) with the deterministic
 // single-run engine and content-addressed scenario keys, and the
-// experiment stack (internal/exp) every batch run goes through:
+// experiment stack (internal/exp) every batch run goes through.
+//
+// The simulation core is activity-driven: each pipeline phase drains
+// bitmap worklists over routers and per-router slot-occupancy masks,
+// updated exactly where flits move, so a cycle costs time proportional
+// to in-flight work rather than network size, and core.Run
+// fast-forwards the clock across fully quiescent gaps between Poisson
+// arrivals via the kernel's next-event peek. The original
+// scan-everything engine is retained (noc.EngineSweep) and golden
+// cross-engine tests prove both produce bit-identical Results; a
+// tracked perf gate (bench-baseline.json + cmd/benchgate, `make
+// bench-check`) fails CI when deterministic work counters regress
+// >15%. The experiment stack:
 // campaigns expand crossed parameter grids — topology × size × traffic
 // × injection rate × replications — onto a cancellable worker pool and
 // stream per-run and mean/CI95 summary records to JSONL/CSV sinks,

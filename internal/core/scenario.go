@@ -81,6 +81,14 @@ type Scenario struct {
 
 	// Config is the node geometry (buffers, packet length, port rates).
 	Config noc.Config
+
+	// Engine selects the Step implementation: the default
+	// activity-driven engine or the reference sweep engine. The two are
+	// result-equivalent bit for bit (proven by the cross-engine golden
+	// tests), so Engine is excluded from the cache key and from the
+	// serialized scenario — it changes how fast a result is computed,
+	// never what it is.
+	Engine noc.Engine `json:"-"`
 }
 
 // NewScenario returns a scenario with the paper's defaults: Poisson

@@ -89,14 +89,17 @@ const cacheFile = "results.jsonl"
 // FileCache is a Cache persisted as one JSONL file in a directory: one
 // {"key": ..., "result": ...} object per line, appended (and flushed)
 // as each result arrives — one line-sized write per simulation, so an
-// interrupt at any point loses nothing already measured. Opening the
+// interrupt at any point loses nothing already measured. The file is
+// append-only during a campaign; Compact rewrites it without the
+// superseded lines. Opening the
 // cache replays the file, so an interrupted campaign resumes from
 // whatever completed — a torn final line (from a killed process) is
 // skipped, not fatal. The on-disk order is the runner's emission
 // order, hence deterministic for a given campaign.
 type FileCache struct {
-	mem *MemCache
-	f   *os.File
+	mem  *MemCache
+	f    *os.File
+	path string
 }
 
 // cacheEntry is the JSONL wire form of one cached result. Results can
@@ -158,7 +161,7 @@ func OpenFileCache(dir string) (*FileCache, error) {
 	if err != nil {
 		return nil, fmt.Errorf("exp: cache file: %w", err)
 	}
-	c := &FileCache{mem: NewMemCache(), f: f}
+	c := &FileCache{mem: NewMemCache(), f: f, path: path}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	for sc.Scan() {
@@ -198,6 +201,85 @@ func (c *FileCache) Store(key string, r core.Result) error {
 		return fmt.Errorf("exp: appending cache entry: %w", err)
 	}
 	return nil
+}
+
+// Compact rewrites the JSONL store without its dead weight: torn or
+// foreign lines, and superseded duplicates of a key (the last
+// occurrence wins, matching what Open loads), which accumulate when
+// several shard processes append to a shared cache directory. Entries
+// keep their first-appearance order, so compacting a healthy file is
+// byte-stable. The rewrite goes through a temp file and an atomic
+// rename; a crash mid-compaction leaves the original intact. It
+// returns the number of lines dropped.
+//
+// Compact requires a quiesced cache: it must not run while another
+// process is appending to the same directory — a writer holding the
+// old inode would lose every line appended after the scan (its handle
+// survives the rename but the file it feeds is unlinked). Run it
+// between campaigns, as `nocsweep -cache-compact` does.
+func (c *FileCache) Compact() (dropped int, err error) {
+	if _, err := c.f.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("exp: compact rewind: %w", err)
+	}
+	// First pass: latest raw line per key, in first-appearance order.
+	latest := make(map[string][]byte)
+	var order []string
+	lines := 0
+	sc := bufio.NewScanner(c.f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		lines++
+		var e cacheEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.Key == "" {
+			continue // torn or foreign line: dropped
+		}
+		if _, ok := latest[e.Key]; !ok {
+			order = append(order, e.Key)
+		}
+		latest[e.Key] = append([]byte(nil), sc.Bytes()...)
+	}
+	if err := sc.Err(); err != nil {
+		return 0, fmt.Errorf("exp: compact scan: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(c.path), cacheFile+".compact-*")
+	if err != nil {
+		return 0, fmt.Errorf("exp: compact temp: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+	// CreateTemp uses 0600; restore the store's usual mode so other
+	// users of a shared cache directory can still open it.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("exp: compact chmod: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	for _, key := range order {
+		w.Write(latest[key])
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("exp: compact write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("exp: compact rename: %w", err)
+	}
+	// The temp handle now refers to the file living at c.path (the fd
+	// follows the inode across the rename) with its offset at the end,
+	// so adopt it as the append handle directly: there is no window in
+	// which a failed reopen could leave c.f on the unlinked old inode.
+	// Prefer a fresh O_APPEND descriptor when available — shared-cache
+	// writers from concurrent shard processes rely on append atomicity —
+	// but fall back to the temp handle rather than fail.
+	c.f.Close()
+	if f, err := os.OpenFile(c.path, os.O_RDWR|os.O_APPEND, 0o644); err == nil {
+		tmp.Close()
+		c.f = f
+	} else {
+		c.f = tmp
+	}
+	return lines - len(order), nil
 }
 
 // Len returns the number of cached results.

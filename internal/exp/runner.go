@@ -68,9 +68,13 @@ type Runner struct {
 	// four times the campaign's base replication count (at least 8).
 	MaxReps int
 	// Refine, when positive, enables saturation-knee refinement: after
-	// the base grid completes, up to Refine extra injection rates per
-	// curve are inserted around the first flattening of the measured
-	// throughput, and simulated like any other grid point.
+	// the base grid completes, extra injection rates are inserted
+	// around the first flattening of the measured throughput and
+	// simulated like any other grid point. Refinement iterates to a
+	// bounded fixed point: each pass re-locates the knee on the
+	// enriched curve and bisects around it again, until the knee's
+	// bracketing intervals narrow below 0.1% of the curve's rate span
+	// or Refine extra rates have been inserted per curve (the bound).
 	Refine int
 	// Shard selects one deterministic slice of the campaign; see Shard.
 	// Sharding composes with Cache but not with the adaptive features.
@@ -342,16 +346,36 @@ func (st *runState) adapt(groups []gridGroup) error {
 	}
 }
 
-// refine inserts extra injection-rate points around the measured
-// saturation knee of every curve (campaign × topology × nodes ×
-// traffic), runs them, and returns the synthesized single-curve groups
-// so the caller can fold them into further adaptive rounds. The knee
-// is the first rate interval where the marginal throughput gain drops
-// below half the curve's initial slope — the flattening the paper's
-// Figures 6, 8 and 10 exhibit at saturation.
+// ratePoint is one measured injection rate of a refinement curve and
+// its global grid index (where the aggregate lives).
+type ratePoint struct {
+	rate float64
+	grid int
+}
+
+// refineCurve is the mutable per-curve state of the refinement loop:
+// the single-curve campaign template new rates are expanded from, the
+// rates measured so far, and the remaining insertion budget.
+type refineCurve struct {
+	c      Campaign
+	pts    []ratePoint
+	budget int
+}
+
+// refine iterates saturation-knee refinement to a bounded fixed point.
+// Each pass locates, on every curve (campaign × topology × nodes ×
+// traffic), the first rate interval where the marginal throughput gain
+// drops below half the curve's initial slope — the flattening the
+// paper's Figures 6, 8 and 10 exhibit at saturation — inserts the
+// midpoints of the bracketing intervals, and simulates them like any
+// other grid point; the enriched curve then feeds the next pass. A
+// curve stops refining when its knee bracket is tighter than
+// kneeRefineTol of the rate span, when bisection yields no new rate,
+// or when Refine extra rates have been inserted. The synthesized
+// single-curve groups are returned so the caller can fold them into
+// further adaptive-replication rounds.
 func (st *runState) refine(groups []gridGroup) ([]gridGroup, error) {
-	var rounds []task
-	var refined []gridGroup
+	var curves []*refineCurve
 	for _, grp := range groups {
 		cells, err := grp.c.cells()
 		if err != nil {
@@ -362,49 +386,54 @@ func (st *runState) refine(groups []gridGroup) ([]gridGroup, error) {
 			nodes   int
 			traffic string
 		}
-		curves := map[curveKey][]cell{}
+		byKey := map[curveKey]*refineCurve{}
 		var order []curveKey
 		for _, cl := range cells {
 			k := curveKey{cl.topo, cl.nodes, cl.spec.Name()}
-			if _, ok := curves[k]; !ok {
+			cv, ok := byKey[k]
+			if !ok {
+				cc := grp.c
+				cc.Topologies = []core.TopologyKind{cl.topo}
+				cc.Nodes = []int{cl.nodes}
+				cc.Traffics = []TrafficSpec{cl.spec}
+				cv = &refineCurve{c: cc, budget: st.r.Refine}
+				byKey[k] = cv
 				order = append(order, k)
 			}
-			curves[k] = append(curves[k], cl)
+			cv.pts = append(cv.pts, ratePoint{rate: cl.flitRate, grid: cl.grid + grp.base})
 		}
 		for _, k := range order {
-			group := curves[k]
-			if len(group) < 3 {
+			if cv := byKey[k]; len(cv.pts) >= 3 {
+				curves = append(curves, cv)
+			}
+		}
+	}
+
+	var refined []gridGroup
+	for {
+		var round []task
+		for _, cv := range curves {
+			if cv.budget <= 0 {
 				continue
 			}
-			sort.Slice(group, func(a, b int) bool { return group[a].flitRate < group[b].flitRate })
-			xs := make([]float64, len(group))
-			ys := make([]float64, len(group))
-			for i, cl := range group {
-				xs[i] = cl.flitRate
-				if a, ok := st.agg.get(cl.grid + grp.base); ok {
+			sort.SliceStable(cv.pts, func(a, b int) bool { return cv.pts[a].rate < cv.pts[b].rate })
+			xs := make([]float64, len(cv.pts))
+			ys := make([]float64, len(cv.pts))
+			for i, pt := range cv.pts {
+				xs[i] = pt.rate
+				if a, ok := st.agg.get(pt.grid); ok {
 					ys[i] = a.Throughput.Mean
 				}
 			}
-			knee := kneeInterval(xs, ys)
-			if knee < 0 {
-				continue
-			}
-			var extra []float64
-			if knee > 0 {
-				extra = append(extra, (xs[knee-1]+xs[knee])/2)
-			}
-			extra = append(extra, (xs[knee]+xs[knee+1])/2)
-			extra = dedupRates(extra, xs)
-			if len(extra) > st.r.Refine {
-				extra = extra[:st.r.Refine]
+			extra := kneeCandidates(xs, ys)
+			if len(extra) > cv.budget {
+				extra = extra[:cv.budget]
 			}
 			if len(extra) == 0 {
+				cv.budget = 0 // fixed point reached for this curve
 				continue
 			}
-			cc := grp.c
-			cc.Topologies = []core.TopologyKind{k.topo}
-			cc.Nodes = []int{k.nodes}
-			cc.Traffics = []TrafficSpec{group[0].spec}
+			cc := cv.c
 			cc.FlitRates = extra
 			pts, err := cc.Points()
 			if err != nil {
@@ -416,18 +445,52 @@ func (st *runState) refine(groups []gridGroup) ([]gridGroup, error) {
 				p.GridIndex += g.base
 				p.Index = st.nextID
 				st.nextID++
-				rounds = append(rounds, task{pt: p, campaign: cc.Name})
+				round = append(round, task{pt: p, campaign: cc.Name})
 			}
+			for i, rate := range extra {
+				cv.pts = append(cv.pts, ratePoint{rate: rate, grid: g.base + i})
+			}
+			cv.budget -= len(extra)
+		}
+		if len(round) == 0 {
+			break
+		}
+		st.total += len(round)
+		if err := st.runBatch(round); err != nil {
+			return nil, err
 		}
 	}
-	if len(rounds) == 0 {
+	if len(refined) == 0 {
 		return nil, st.ctx.Err()
 	}
-	st.total += len(rounds)
-	if err := st.runBatch(rounds); err != nil {
-		return nil, err
-	}
 	return refined, nil
+}
+
+// kneeRefineTol stops bisection once a knee bracket is tighter than
+// this fraction of the curve's full rate span: further points would
+// refine the knee estimate by less than the measurement noise.
+const kneeRefineTol = 1e-3
+
+// kneeCandidates returns the midpoint rates bisecting the knee of the
+// measured curve (xs ascending, ys throughput): one in the interval
+// entering the knee and one in the interval leaving it, skipping
+// intervals already tighter than kneeRefineTol of the span and rates
+// already present. An empty result means the curve has no knee or its
+// bracket has converged.
+func kneeCandidates(xs, ys []float64) []float64 {
+	knee := kneeInterval(xs, ys)
+	if knee < 0 {
+		return nil
+	}
+	tol := kneeRefineTol * (xs[len(xs)-1] - xs[0])
+	var cand []float64
+	if knee > 0 && xs[knee]-xs[knee-1] > tol {
+		cand = append(cand, (xs[knee-1]+xs[knee])/2)
+	}
+	if xs[knee+1]-xs[knee] > tol {
+		cand = append(cand, (xs[knee]+xs[knee+1])/2)
+	}
+	return dedupRates(cand, xs)
 }
 
 // kneeInterval returns the index i of the first rate interval

@@ -3,9 +3,11 @@ package exp
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -358,5 +360,201 @@ func TestShardRejectsAdaptive(t *testing.T) {
 	}
 	if _, err := (Runner{Shard: Shard{5, 2}}).Run(context.Background(), c); err == nil {
 		t.Fatal("out-of-range shard accepted")
+	}
+}
+
+// kneeCandidates drives refinement to a fixed point: on a synthetic
+// hockey-stick curve (throughput min(x, knee)), repeated bisection
+// converges the knee bracket geometrically and then stops on its own,
+// well before an unbounded budget would.
+func TestKneeCandidatesConvergeOnSyntheticKnee(t *testing.T) {
+	const knee = 0.37
+	y := func(x float64) float64 {
+		if x < knee {
+			return x
+		}
+		return knee
+	}
+	xs := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = y(x)
+	}
+	span := xs[len(xs)-1] - xs[0]
+	bracket := func() float64 {
+		k := kneeInterval(xs, ys)
+		if k < 0 {
+			t.Fatalf("synthetic knee lost: xs=%v ys=%v", xs, ys)
+		}
+		return xs[k+1] - xs[k-1+1] // width of the knee interval
+	}
+	prev := bracket()
+	inserted := 0
+	for pass := 0; ; pass++ {
+		if pass > 40 {
+			t.Fatal("refinement failed to reach a fixed point")
+		}
+		cands := kneeCandidates(xs, ys)
+		if len(cands) == 0 {
+			break // fixed point
+		}
+		for _, x := range cands {
+			xs = append(xs, x)
+			ys = append(ys, y(x))
+			inserted++
+		}
+		sort.Float64s(xs)
+		sort.Float64s(ys) // y = min(x, knee) is monotone, so this re-pairs correctly
+		if w := bracket(); w > prev {
+			t.Fatalf("pass %d: knee bracket widened from %v to %v", pass, prev, w)
+		} else {
+			prev = w
+		}
+	}
+	if prev > kneeRefineTol*span*2 {
+		t.Fatalf("fixed point reached with a loose bracket: %v (span %v)", prev, span)
+	}
+	if inserted == 0 {
+		t.Fatal("no refinement happened at all")
+	}
+	// The detector brackets the first flattening, i.e. it approaches
+	// the true knee from just above; the converged bracket must sit
+	// within tolerance of it.
+	k := kneeInterval(xs, ys)
+	if eps := 2 * kneeRefineTol * span; xs[k] > knee+eps || xs[k+1] < knee-eps {
+		t.Fatalf("converged bracket [%v, %v] strayed from the knee %v", xs[k], xs[k+1], knee)
+	}
+}
+
+// The runner's refinement loop iterates: with budget for more than one
+// pass, at least one inserted rate bisects an interval created by an
+// earlier insertion, which a single-pass implementation cannot produce.
+func TestRefineIteratesPastOnePass(t *testing.T) {
+	c := Campaign{
+		Name:       "refine-iter",
+		Topologies: []core.TopologyKind{core.Spidergon},
+		Nodes:      []int{8},
+		Traffics:   []TrafficSpec{{Kind: core.HotSpotTraffic, HotSpots: []int{0}}},
+		FlitRates:  []float64{0.05, 0.1, 0.15, 0.2},
+		Reps:       1,
+		Seed:       3,
+		Warmup:     300,
+		Measure:    3000,
+	}
+	aggs, err := Runner{Refine: 6}.Run(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := map[float64]bool{0.05: true, 0.1: true, 0.15: true, 0.2: true}
+	var refinedRates []float64
+	for _, a := range aggs {
+		if !base[a.FlitRate] {
+			refinedRates = append(refinedRates, a.FlitRate)
+		}
+	}
+	if len(refinedRates) < 3 {
+		t.Fatalf("expected several refinement passes, got rates %v", refinedRates)
+	}
+	if len(refinedRates) > 6 {
+		t.Fatalf("refinement exceeded its budget: %v", refinedRates)
+	}
+	// Evidence of iteration: some refined rate is the midpoint of two
+	// rates at 1/4-grid spacing or finer, which only a second pass over
+	// first-pass midpoints can insert (the base grid is 0.05-spaced, so
+	// first-pass midpoints sit on the 0.025 lattice; a second pass
+	// lands on 0.0125 offsets).
+	second := false
+	for _, r := range refinedRates {
+		if q := r / 0.0125; q != float64(int64(q)) || int64(q)%2 == 1 {
+			second = true
+		}
+	}
+	if !second {
+		t.Fatalf("no second-pass bisection found in refined rates %v", refinedRates)
+	}
+	// The iterated refinement stays deterministic at any parallelism.
+	again, err := Runner{Refine: 6, Parallel: 8}.Run(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(aggs) {
+		t.Fatal("refined point set differs across parallelism")
+	}
+	for i := range aggs {
+		if aggs[i].FlitRate != again[i].FlitRate || aggs[i].Throughput != again[i].Throughput {
+			t.Fatalf("aggregate %d differs across parallelism", i)
+		}
+	}
+}
+
+// Compact drops superseded duplicates and torn lines, keeps the
+// last-written value of each key in first-appearance order, and leaves
+// the cache fully usable (lookups and further appends) afterwards.
+func TestFileCacheCompact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "results.jsonl")
+	mk := func(key string, tput float64) string {
+		b, err := json.Marshal(encodeEntry(key, core.Result{Throughput: tput}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	lines := []string{
+		mk("a", 1),
+		mk("b", 2),
+		"{\"torn",  // killed writer
+		mk("a", 3), // supersedes the first "a"
+		"not json at all",
+		mk("c", 4),
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenFileCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	dropped, err := c.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 3 {
+		t.Fatalf("dropped %d lines, want 3 (two torn + one superseded)", dropped)
+	}
+	want := mk("a", 3) + "\n" + mk("b", 2) + "\n" + mk("c", 4) + "\n"
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Fatalf("compacted file:\n%s\nwant:\n%s", got, want)
+	}
+	// Compacting a clean file is a no-op, byte for byte.
+	if dropped, err = c.Compact(); err != nil || dropped != 0 {
+		t.Fatalf("second compaction: dropped %d, err %v", dropped, err)
+	}
+	again, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, got) {
+		t.Fatal("second compaction changed the file")
+	}
+	// The cache still serves and appends after compaction.
+	if r, ok := c.Lookup("a"); !ok || r.Throughput != 3 {
+		t.Fatalf("lookup after compact: %v %v", r, ok)
+	}
+	if err := c.Store("d", core.Result{Throughput: 5}); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenFileCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if r, ok := reopened.Lookup("d"); !ok || r.Throughput != 5 {
+		t.Fatalf("appended entry lost after compact+reopen: %v %v", r, ok)
 	}
 }

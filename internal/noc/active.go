@@ -1,0 +1,589 @@
+package noc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file is the activity-driven simulation core: the default engine
+// behind Network.Step. Instead of sweeping every router × port × VC in
+// all four phases each cycle (the reference engine in network.go, kept
+// as EngineSweep for cross-checking), each phase drains an incremental
+// worklist at two granularities: bitmap active sets over nodes select
+// which routers/sources a phase visits at all, and per-router
+// slot-occupancy masks (router.inOcc/ejOcc/outOcc, one bit per
+// flattened port × VC slot) select which slots a visit touches — both
+// updated exactly where flits move, so a cycle's cost is proportional
+// to in-flight work, not network size. Determinism is preserved by
+// construction: sets drain in ascending node order (the reference
+// engine's iteration order), slots in the reference round-robin order,
+// and the per-cycle round-robin pointers, which the reference engine
+// advances unconditionally once per cycle, are derived from the cycle
+// counter instead of stored, so skipping an idle router (or
+// fast-forwarding whole idle cycles via SkipTo) cannot perturb
+// arbitration. The cross-engine golden tests assert bit-identical
+// Results against EngineSweep for every scenario class.
+
+// Engine selects the implementation behind Network.Step.
+type Engine int
+
+const (
+	// EngineActive is the activity-driven engine (the default): phases
+	// visit only routers with buffered flits and sources with pending
+	// packets.
+	EngineActive Engine = iota
+	// EngineSweep is the reference engine: every phase scans all
+	// routers. It is retained as the golden oracle for equivalence
+	// tests and as a debugging fallback.
+	EngineSweep
+)
+
+// String returns the engine's conventional name.
+func (e Engine) String() string {
+	switch e {
+	case EngineActive:
+		return "active"
+	case EngineSweep:
+		return "sweep"
+	default:
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
+
+// activeSet is a fixed-capacity bitmap of node indices, drained in
+// ascending order so worklist scheduling cannot reorder arbitration.
+type activeSet struct {
+	words []uint64
+}
+
+func newActiveSet(n int) activeSet {
+	return activeSet{words: make([]uint64, (n+63)/64)}
+}
+
+func (s *activeSet) add(i int)    { s.words[i>>6] |= 1 << (uint(i) & 63) }
+func (s *activeSet) remove(i int) { s.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+func (s *activeSet) has(i int) bool {
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+func (s *activeSet) clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// forEach visits the members in ascending order. fn may remove the
+// member currently being visited and may add or remove members of
+// *other* sets; inserting new members into this set mid-iteration is
+// not supported (no phase needs it — each phase only retires its own
+// worklist entries and feeds the worklists of later phases).
+func (s *activeSet) forEach(fn func(i int)) {
+	for wi, w := range s.words {
+		base := wi << 6
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			fn(base + b)
+		}
+	}
+}
+
+// --- worklist maintenance, called wherever the active engine moves a
+// flit. The sweep engine bypasses these (it pops/pushes the buffers
+// directly); SetEngine(EngineActive) rebuilds all masks and sets.
+
+// refreshInSets recomputes node's membership in the ejection and
+// switch worklists from its input-slot masks: the ejection stage wants
+// routers with a locally-destined head anywhere, the switch stage
+// routers with a transit head (non-empty slot whose head travels on).
+func (n *Network) refreshInSets(node int, r *router) {
+	if r.ejOcc != 0 {
+		n.ejSet.add(node)
+	} else {
+		n.ejSet.remove(node)
+	}
+	if r.inOcc&^r.ejOcc != 0 {
+		n.swSet.add(node)
+	} else {
+		n.swSet.remove(node)
+	}
+}
+
+// inPop removes the head of p's vc slot, re-deriving the slot's
+// occupancy and head-locality bits from the newly exposed head.
+func (n *Network) inPop(node int, r *router, p *inPort, vc int) *Flit {
+	f := p.pop(vc)
+	bit := uint64(1) << uint(p.slotBase+vc)
+	switch {
+	case p.bufs[vc].len() == 0:
+		r.inOcc &^= bit
+		r.ejOcc &^= bit
+	case p.head(vc).Pkt.Dst == r.node:
+		r.ejOcc |= bit
+	default:
+		r.ejOcc &^= bit
+	}
+	n.refreshInSets(node, r)
+	return f
+}
+
+// inPush appends f to p's vc slot of the downstream router.
+func (n *Network) inPush(node int, r *router, p *inPort, vc int, f *Flit) {
+	wasEmpty := p.bufs[vc].len() == 0
+	p.push(vc, f)
+	bit := uint64(1) << uint(p.slotBase+vc)
+	r.inOcc |= bit
+	if wasEmpty && f.Pkt.Dst == r.node {
+		r.ejOcc |= bit
+	}
+	n.refreshInSets(node, r)
+}
+
+// outPush appends f to the output queue (op, vc) of node's router.
+func (n *Network) outPush(node int, r *router, op *outPort, vc int, f *Flit) {
+	op.vcs[vc].push(f)
+	r.outOcc |= 1 << uint(op.slotBase+vc)
+	n.outSet.add(node)
+}
+
+// outPop removes the head of the output queue (op, vc), retiring the
+// slot — and, when the router's last output drains, the router — from
+// the link worklist.
+func (n *Network) outPop(node int, r *router, op *outPort, vc int) *Flit {
+	v := op.vcs[vc]
+	f := v.pop()
+	if v.empty() {
+		r.outOcc &^= 1 << uint(op.slotBase+vc)
+		if r.outOcc == 0 {
+			n.outSet.remove(node)
+		}
+	}
+	return f
+}
+
+// stepActive advances one cycle visiting only active routers/sources.
+// Phase bodies mirror the reference engine (network.go) statement for
+// statement; the only differences are worklist iteration, mask
+// maintenance, and cycle-derived round-robin pointers.
+func (n *Network) stepActive() {
+	n.moved = false
+	n.activeEject()
+	n.activeSwitch()
+	n.activeInject()
+	n.activeLink()
+	if n.moved {
+		n.lastActivity = n.cycle
+	}
+	n.cycle++
+	// Advance cycle % d for every registered round-robin divisor by
+	// increment — cheaper than one division per visited router.
+	for _, d := range n.modDivs {
+		v := n.modTab[d] + 1
+		if v == uint32(d) {
+			v = 0
+		}
+		n.modTab[d] = v
+	}
+}
+
+// activeEject mirrors ejectPhase over routers holding locally-destined
+// input heads, touching only the slots whose bit is set in ejOcc.
+// rrEj is derived: the reference advances it by one every cycle for
+// every router, so during cycle c it equals c mod slots.
+func (n *Network) activeEject() {
+	vcs := n.alg.VCs()
+	n.ejSet.forEach(func(node int) {
+		r := n.routers[node]
+		n.visits++
+		budget := n.cfg.SinkRate
+		np := len(r.in)
+		if np == 0 {
+			return
+		}
+		slots := np * vcs
+		rrEj := int(n.modTab[slots])
+		for k := 0; k < slots && budget > 0; k++ {
+			s := rrEj + k
+			if s >= slots {
+				s -= slots
+			}
+			if r.ejOcc&(1<<uint(s)) == 0 {
+				continue
+			}
+			p := r.in[s/vcs]
+			vc := s % vcs
+			for budget > 0 && !p.empty(vc) && p.head(vc).Pkt.Dst == r.node {
+				f := n.inPop(node, r, p, vc)
+				budget--
+				n.moved = true
+				f.Pkt.recv++
+				if f.IsTail() {
+					n.ejected++
+					n.col.PacketEjected(n.cycle, f.Pkt.CreatedCycle, f.Pkt.InjectedCycle, f.Pkt.Len, f.Pkt.Hops)
+					if n.onEject != nil {
+						n.onEject(f.Pkt)
+					}
+				}
+			}
+		}
+	})
+}
+
+// activeSwitch mirrors switchPhase over routers holding transit heads,
+// visiting only the occupied transit slots (inOcc minus the locally
+// destined heads, which wait for the ejection stage) in the reference
+// port order: rotated by rrIn, derived like rrEj. The rotation is the
+// mask split at the rrIn slot boundary — high part first.
+func (n *Network) activeSwitch() {
+	vcs := n.alg.VCs()
+	n.swSet.forEach(func(node int) {
+		r := n.routers[node]
+		n.visits++
+		rrIn := int(n.modTab[len(r.in)])
+		m := r.inOcc &^ r.ejOcc
+		hi := m &^ (1<<uint(rrIn*vcs) - 1)
+		for _, part := range [2]uint64{hi, m ^ hi} {
+			for part != 0 {
+				p := r.slotIn[bits.TrailingZeros64(part)]
+				occ := part >> uint(p.slotBase)
+				part &^= (1<<uint(vcs) - 1) << uint(p.slotBase)
+				n.switchPort(r, p, occ, vcs)
+			}
+		}
+	})
+}
+
+// switchPort runs the reference per-port VC arbitration over the
+// occupied transit slots of one input port (occ holds the port's VC
+// occupancy in its low bits): first movable flit in rrVC order wins
+// the port's crossbar input for this cycle.
+func (n *Network) switchPort(r *router, p *inPort, occ uint64, vcs int) {
+	for j := 0; j < vcs; j++ {
+		inVC := (p.rrVC + j) % vcs
+		if occ&(1<<uint(inVC)) == 0 {
+			continue
+		}
+		f := p.head(inVC)
+		if f.lastMove >= n.cycle+1 {
+			continue // already advanced this cycle
+		}
+		entry := &p.route[inVC]
+		if f.IsHead() {
+			d := n.route(r, f.Pkt, inVC)
+			op := r.outPortByDir(d.Dir)
+			if op == nil {
+				panic(fmt.Sprintf("noc: %s chose missing direction %v at node %d for %v",
+					n.alg.Name(), d.Dir, r.node, f.Pkt))
+			}
+			ovc := op.vcs[d.VC]
+			if !n.canAdmit(ovc, f.Pkt) {
+				continue // allocation denied; retry next cycle
+			}
+			ovc.owner = f.Pkt
+			*entry = routeEntry{active: true, port: op, vc: d.VC}
+		} else if !entry.active {
+			panic(fmt.Sprintf("noc: body flit %v at node %d without switching state", f, r.node))
+		}
+		ovc := entry.port.vcs[entry.vc]
+		if ovc.owner != f.Pkt || ovc.full(n.cfg.OutBufCap) {
+			continue // space denied; retry next cycle
+		}
+		n.inPop(r.node, r, p, inVC)
+		f.VC = entry.vc
+		f.lastMove = n.cycle + 1
+		n.outPush(r.node, r, entry.port, entry.vc, f)
+		n.moved = true
+		if f.IsTail() {
+			ovc.owner = nil
+			entry.active = false
+		}
+		p.rrVC = (inVC + 1) % vcs
+		return // one flit per input port per cycle
+	}
+}
+
+// activeInject mirrors injectPhase over sources with pending packets,
+// retiring a source once its IP memory and in-progress worm drain.
+func (n *Network) activeInject() {
+	n.niSet.forEach(func(node int) {
+		q := n.nis[node]
+		r := n.routers[node]
+		n.visits++
+		budget := n.cfg.InjectRate
+		for budget > 0 {
+			if q.sending == nil {
+				if q.queue.len() == 0 {
+					break
+				}
+				q.sending = q.queue.pop()
+				q.nextSeq = 0
+				q.vc = 0
+				q.route = routeEntry{}
+			}
+			pkt := q.sending
+			if q.nextSeq == 0 && !q.route.active {
+				d := n.route(r, pkt, 0)
+				op := r.outPortByDir(d.Dir)
+				if op == nil {
+					panic(fmt.Sprintf("noc: %s chose missing direction %v at source %d for %v",
+						n.alg.Name(), d.Dir, node, pkt))
+				}
+				ovc := op.vcs[d.VC]
+				if n.canAdmit(ovc, pkt) {
+					ovc.owner = pkt
+					q.route = routeEntry{active: true, port: op, vc: d.VC}
+				} else {
+					n.col.SourceBlocked(n.cycle)
+					break
+				}
+			}
+			ovc := q.route.port.vcs[q.route.vc]
+			if ovc.full(n.cfg.OutBufCap) {
+				n.col.SourceBlocked(n.cycle)
+				break
+			}
+			f := &pkt.flits[q.nextSeq]
+			f.VC = q.route.vc
+			f.lastMove = n.cycle + 1
+			n.outPush(node, r, q.route.port, q.route.vc, f)
+			n.moved = true
+			q.nextSeq++
+			budget--
+			if f.IsHead() {
+				pkt.InjectedCycle = n.cycle
+				n.injected++
+				n.col.PacketInjected(n.cycle, pkt.Len)
+			}
+			if f.IsTail() {
+				ovc.owner = nil
+				q.sending = nil
+				q.route = routeEntry{}
+			}
+		}
+		if q.sending == nil && q.queue.len() == 0 {
+			n.niSet.remove(node)
+		}
+	})
+}
+
+// activeLink mirrors linkPhase over routers holding output flits,
+// visiting only the occupied output slots (port order is ascending,
+// as in the reference) and feeding the downstream routers' input
+// worklists. op.rr is derived like the other round-robin pointers.
+func (n *Network) activeLink() {
+	vcs := n.alg.VCs()
+	rrVC := int(n.modTab[vcs]) // every port has alg.VCs() queues
+	n.outSet.forEach(func(node int) {
+		r := n.routers[node]
+		n.visits++
+		m := r.outOcc
+		for m != 0 {
+			op := r.slotOut[bits.TrailingZeros64(m)]
+			occ := m >> uint(op.slotBase)
+			m &^= (1<<uint(vcs) - 1) << uint(op.slotBase)
+			n.linkPort(node, r, op, occ, vcs, rrVC)
+		}
+	})
+}
+
+// linkPort runs the reference per-link VC arbitration over one output
+// port's occupied queues (occ holds the port's VC occupancy in its low
+// bits): the first departable head in rr order traverses the link.
+func (n *Network) linkPort(node int, r *router, op *outPort, occ uint64, vcs, rr int) {
+	for k := 0; k < vcs; k++ {
+		vi := rr + k
+		if vi >= vcs {
+			vi -= vcs
+		}
+		if occ&(1<<uint(vi)) == 0 {
+			continue
+		}
+		v := op.vcs[vi]
+		f := v.head()
+		if f.lastMove >= n.cycle+1 {
+			continue
+		}
+		if !n.canDepart(v) {
+			continue
+		}
+		ip := op.peer
+		if ip.full(vi, n.cfg.InBufCap) {
+			continue
+		}
+		n.outPop(node, r, op, vi)
+		f.lastMove = n.cycle + 1
+		if f.IsHead() {
+			f.Pkt.Hops++
+		}
+		n.linkFlits[op.ch.ID]++
+		n.inPush(op.ch.Dst, op.peerRouter, ip, vi, f)
+		n.moved = true
+		return // one flit per physical link per cycle
+	}
+}
+
+// SetEngine selects the implementation behind Step. Switching is legal
+// at any point: the worklists are rebuilt from the buffers, so a
+// network mid-simulation carries its state over exactly. On the rare
+// network whose per-router slot count exceeds one mask word the
+// request for EngineActive is ignored and the sweep fallback stays in
+// force (check Engine); results are identical either way.
+func (n *Network) SetEngine(e Engine) {
+	if e != EngineActive && e != EngineSweep {
+		panic(fmt.Sprintf("noc: unknown engine %d", int(e)))
+	}
+	if e == EngineActive {
+		if !n.maskable {
+			return
+		}
+		n.rebuildActiveSets()
+	}
+	n.engine = e
+}
+
+// Engine returns the engine currently driving Step.
+func (n *Network) Engine() Engine { return n.engine }
+
+// rebuildActiveSets recomputes the slot masks and worklists from the
+// ground truth in the buffers. The sweep engine does not maintain
+// them, so a switch back to the active engine starts here.
+func (n *Network) rebuildActiveSets() {
+	n.rebuildModTab()
+	n.ejSet.clear()
+	n.swSet.clear()
+	n.outSet.clear()
+	n.niSet.clear()
+	for node, r := range n.routers {
+		r.inOcc, r.ejOcc, r.outOcc = 0, 0, 0
+		for _, p := range r.in {
+			for vc := range p.bufs {
+				if p.bufs[vc].len() == 0 {
+					continue
+				}
+				bit := uint64(1) << uint(p.slotBase+vc)
+				r.inOcc |= bit
+				if p.head(vc).Pkt.Dst == r.node {
+					r.ejOcc |= bit
+				}
+			}
+		}
+		for _, op := range r.out {
+			for vc, v := range op.vcs {
+				if !v.empty() {
+					r.outOcc |= 1 << uint(op.slotBase+vc)
+				}
+			}
+		}
+		n.refreshInSets(node, r)
+		if r.outOcc != 0 {
+			n.outSet.add(node)
+		}
+		s := n.nis[node]
+		if s.sending != nil || s.queue.len() > 0 {
+			n.niSet.add(node)
+		}
+	}
+}
+
+// checkActiveInvariants verifies that no buffered flit or pending
+// packet has fallen off its worklist (which would strand it forever)
+// and that the incremental slot masks match the buffers. It
+// participates in CheckConservation, so every conservation-checked run
+// also proves the worklist bookkeeping.
+func (n *Network) checkActiveInvariants() error {
+	if n.engine != EngineActive {
+		return nil
+	}
+	for node, r := range n.routers {
+		var inOcc, ejOcc, outOcc uint64
+		for _, p := range r.in {
+			for vc := range p.bufs {
+				if p.bufs[vc].len() == 0 {
+					continue
+				}
+				bit := uint64(1) << uint(p.slotBase+vc)
+				inOcc |= bit
+				if p.head(vc).Pkt.Dst == r.node {
+					ejOcc |= bit
+				}
+			}
+		}
+		for _, op := range r.out {
+			for vc, v := range op.vcs {
+				if !v.empty() {
+					outOcc |= 1 << uint(op.slotBase+vc)
+				}
+			}
+		}
+		if inOcc != r.inOcc || ejOcc != r.ejOcc || outOcc != r.outOcc {
+			return fmt.Errorf("noc: node %d slot masks (in %b, ej %b, out %b) disagree with buffers (in %b, ej %b, out %b)",
+				node, r.inOcc, r.ejOcc, r.outOcc, inOcc, ejOcc, outOcc)
+		}
+		if ejOcc != 0 && !n.ejSet.has(node) {
+			return fmt.Errorf("noc: node %d holds ejectable flits but is off the ejection worklist", node)
+		}
+		if inOcc&^ejOcc != 0 && !n.swSet.has(node) {
+			return fmt.Errorf("noc: node %d holds transit flits but is off the switch worklist", node)
+		}
+		if outOcc != 0 && !n.outSet.has(node) {
+			return fmt.Errorf("noc: node %d holds output flits but is off the link worklist", node)
+		}
+		s := n.nis[node]
+		if (s.sending != nil || s.queue.len() > 0) && !n.niSet.has(node) {
+			return fmt.Errorf("noc: source %d has pending packets but is off the injection worklist", node)
+		}
+	}
+	return nil
+}
+
+// rebuildModTab re-derives cycle % d for every registered divisor
+// after a discontinuous cycle change (SkipTo, engine switch).
+func (n *Network) rebuildModTab() {
+	for _, d := range n.modDivs {
+		n.modTab[d] = uint32(n.cycle % uint64(d))
+	}
+}
+
+// Quiescent reports whether the network holds no traffic at all — no
+// queued, partially injected, in-flight, or partially ejected packets.
+// Every created packet is queued, resident, or fully ejected
+// (CheckConservation), so created == ejected is exact and O(1); the
+// idle fast-forward in core.Run gates on it every cycle.
+func (n *Network) Quiescent() bool { return n.created == n.ejected }
+
+// SkipTo advances the cycle counter to the given cycle without
+// simulating the intervening cycles. It is only legal while the
+// network is quiescent: with no flit anywhere and no packet pending, a
+// cycle moves nothing, touches no statistics, and — because the
+// round-robin pointers are derived from the cycle counter — leaves
+// arbitration state exactly as if it had been stepped. Earlier or
+// current targets are a no-op.
+func (n *Network) SkipTo(cycle uint64) {
+	if cycle <= n.cycle {
+		return
+	}
+	if !n.Quiescent() {
+		panic(fmt.Sprintf("noc: SkipTo(%d) on a non-quiescent network at cycle %d", cycle, n.cycle))
+	}
+	delta := cycle - n.cycle
+	n.skipped += delta
+	n.cycle = cycle
+	n.rebuildModTab()
+	if n.engine == EngineSweep {
+		// The sweep engine stores its round-robin pointers and advances
+		// them once per cycle even when idle; replay the skipped
+		// advances so the two engines stay interchangeable.
+		for _, r := range n.routers {
+			if np := len(r.in); np > 0 {
+				vcs := n.alg.VCs()
+				r.rrEj = (r.rrEj + int(delta%uint64(np*vcs))) % (np * vcs)
+				r.rrIn = (r.rrIn + int(delta%uint64(np))) % np
+			}
+			for _, op := range r.out {
+				nv := len(op.vcs)
+				op.rr = (op.rr + int(delta%uint64(nv))) % nv
+			}
+		}
+	}
+}

@@ -11,6 +11,15 @@
 // which every flit moves at most one pipeline stage (ejection, switch
 // traversal, injection, link traversal). All arbitration is round-robin
 // and all iteration orders are fixed, so simulations are deterministic.
+//
+// Two interchangeable engines implement Step. The default
+// activity-driven engine (active.go) drains per-phase worklists —
+// bitmap active sets over routers and sources, updated exactly where
+// flits move — so a cycle costs time proportional to in-flight work
+// rather than network size, and a fully quiescent network can
+// fast-forward across idle cycles via SkipTo. EngineSweep is the
+// original scan-everything reference; the cross-engine tests prove the
+// two produce bit-identical results for every scenario class.
 package noc
 
 import "fmt"

@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"sort"
 
 	"gonoc/internal/routing"
 	"gonoc/internal/stats"
@@ -28,6 +29,22 @@ type Network struct {
 	injected     uint64
 	lastActivity uint64
 	moved        bool // any flit progress in the current cycle
+
+	// engine selects the Step implementation (see active.go); the
+	// activity-driven worklists below belong to EngineActive. The
+	// per-slot occupancy masks live on each router.
+	engine   Engine
+	maskable bool      // every router's slots fit a 64-bit mask
+	ejSet    activeSet // routers with a locally-destined input head
+	swSet    activeSet // routers with a transit input head
+	outSet   activeSet // routers with non-empty output queues
+	niSet    activeSet // sources with pending packets
+	visits   uint64    // per-phase router/source worklist visits
+	skipped  uint64    // cycles fast-forwarded by SkipTo
+	// modTab[d] == cycle % d for every registered round-robin divisor
+	// d (modDivs), maintained by increment instead of division.
+	modDivs []int
+	modTab  []uint32
 
 	// linkFlits counts flit traversals per channel ID.
 	linkFlits []uint64
@@ -68,10 +85,51 @@ func NewNetwork(t topology.Topology, a routing.Algorithm, cfg Config, col *stats
 	if aa, ok := a.(routing.Adaptive); ok {
 		n.adaptive = aa
 	}
+	nis := make([]ni, t.Nodes())
+	n.maskable = true
 	for v := 0; v < t.Nodes(); v++ {
-		n.routers = append(n.routers, newRouter(v, t, a.VCs()))
-		n.nis = append(n.nis, &ni{node: v})
+		r := newRouter(v, t, a.VCs())
+		if len(r.in)*a.VCs() > 64 || len(r.out)*a.VCs() > 64 {
+			n.maskable = false
+		}
+		n.routers = append(n.routers, r)
+		nis[v].node = v
+		n.nis = append(n.nis, &nis[v])
 	}
+	n.ejSet = newActiveSet(t.Nodes())
+	n.swSet = newActiveSet(t.Nodes())
+	n.outSet = newActiveSet(t.Nodes())
+	n.niSet = newActiveSet(t.Nodes())
+	if !n.maskable {
+		// Degree × VC counts beyond one mask word (no paper topology
+		// comes close) fall back to the reference engine.
+		n.engine = EngineSweep
+	}
+	// Resolve each output channel's downstream port once, and register
+	// the round-robin divisors (per-router slot and port counts) with
+	// the incremental modulo table the active engine derives its
+	// rotation pointers from.
+	seen := make(map[int]bool)
+	addDiv := func(d int) {
+		if d > 0 && !seen[d] {
+			seen[d] = true
+			n.modDivs = append(n.modDivs, d)
+		}
+	}
+	addDiv(a.VCs())
+	for _, r := range n.routers {
+		for _, op := range r.out {
+			op.peerRouter = n.routers[op.ch.Dst]
+			op.peer = op.peerRouter.inPortByChannel(op.ch.ID)
+			if op.peer == nil {
+				return nil, fmt.Errorf("noc: channel %d has no input port at node %d", op.ch.ID, op.ch.Dst)
+			}
+		}
+		addDiv(len(r.in))
+		addDiv(len(r.in) * a.VCs())
+	}
+	sort.Ints(n.modDivs)
+	n.modTab = make([]uint32, n.modDivs[len(n.modDivs)-1]+1)
 	return n, nil
 }
 
@@ -128,6 +186,7 @@ func (n *Network) InjectPacket(src, dst int) (*Packet, error) {
 	n.nextPktID++
 	n.created++
 	q.queue.push(p)
+	n.niSet.add(src)
 	return p, nil
 }
 
@@ -179,8 +238,20 @@ func (n *Network) canDepart(q *outVC) bool {
 // Step advances the network one clock cycle. The four phases — sink
 // ejection, switch traversal, source injection, link traversal — each
 // move a flit at most one stage, and a per-flit cycle stamp prevents a
-// flit from advancing through two stages in one cycle.
+// flit from advancing through two stages in one cycle. The default
+// engine visits only active routers and sources (active.go); the
+// sweep engine below scans everything and serves as the golden
+// reference the active engine is tested against.
 func (n *Network) Step() {
+	if n.engine == EngineSweep {
+		n.stepSweep()
+		return
+	}
+	n.stepActive()
+}
+
+// stepSweep is the reference per-cycle sweep over all routers.
+func (n *Network) stepSweep() {
 	n.moved = false
 	n.ejectPhase()
 	n.switchPhase()
@@ -207,6 +278,7 @@ func (n *Network) StepN(k int) {
 func (n *Network) ejectPhase() {
 	vcs := n.alg.VCs()
 	for _, r := range n.routers {
+		n.visits++
 		budget := n.cfg.SinkRate
 		np := len(r.in)
 		if np == 0 {
@@ -243,6 +315,7 @@ func (n *Network) ejectPhase() {
 func (n *Network) switchPhase() {
 	vcs := n.alg.VCs()
 	for _, r := range n.routers {
+		n.visits++
 		np := len(r.in)
 		for k := 0; k < np; k++ {
 			p := r.in[(r.rrIn+k)%np]
@@ -306,6 +379,7 @@ func (n *Network) switchPhase() {
 func (n *Network) injectPhase() {
 	for node, q := range n.nis {
 		r := n.routers[node]
+		n.visits++
 		budget := n.cfg.InjectRate
 		for budget > 0 {
 			if q.sending == nil {
@@ -366,6 +440,7 @@ func (n *Network) injectPhase() {
 // has not already advanced this cycle.
 func (n *Network) linkPhase() {
 	for _, r := range n.routers {
+		n.visits++
 		for _, op := range r.out {
 			nv := len(op.vcs)
 			sent := false
@@ -382,8 +457,7 @@ func (n *Network) linkPhase() {
 				if !n.canDepart(v) {
 					continue
 				}
-				dst := n.routers[op.ch.Dst]
-				ip := dst.inPortByChannel(op.ch.ID)
+				ip := op.peer
 				if ip.full(vi, n.cfg.InBufCap) {
 					continue
 				}
@@ -446,8 +520,15 @@ func (n *Network) IdleCycles() uint64 {
 
 // CheckConservation verifies no flit was lost or duplicated: every
 // created packet is queued, in flight, or fully ejected, and in-flight
-// flit counts match packet bookkeeping. It returns nil when consistent.
+// flit counts match packet bookkeeping. Under the active engine it
+// additionally proves the worklist bookkeeping: every buffered flit and
+// pending packet is reachable from its phase's active set (a flit off
+// its worklist would be stranded forever). It returns nil when
+// consistent.
 func (n *Network) CheckConservation() error {
+	if err := n.checkActiveInvariants(); err != nil {
+		return err
+	}
 	inFlight := uint64(0)
 	for _, s := range n.nis {
 		if s.sending != nil {

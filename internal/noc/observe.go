@@ -77,6 +77,49 @@ func (n *Network) Utilization() UtilizationSummary {
 	return s
 }
 
+// PerfStats is the engine's deterministic work accounting: how many
+// worklist (or sweep) visits the phase loops performed and how many
+// idle cycles were fast-forwarded. Both counters are pure functions of
+// the scenario — independent of wall clock, host, and parallelism — so
+// the perf-regression gate (make bench-check) can compare them against
+// a committed baseline without cross-machine noise.
+type PerfStats struct {
+	// Engine names the Step implementation that produced the counters.
+	Engine string
+	// RouterVisits counts per-phase router/source visits: the sweep
+	// engine pays 4×N every cycle, the active engine only for nodes
+	// holding work.
+	RouterVisits uint64
+	// SkippedCycles counts cycles advanced by SkipTo instead of Step.
+	SkippedCycles uint64
+}
+
+// Perf returns the engine work counters accumulated so far.
+func (n *Network) Perf() PerfStats {
+	return PerfStats{Engine: n.engine.String(), RouterVisits: n.visits, SkippedCycles: n.skipped}
+}
+
+// ActiveNodes reports how many routers currently hold buffered flits
+// (input or output side) — the instantaneous worklist load the active
+// engine's cycle cost is proportional to. The sweep engine does not
+// maintain the occupancy masks, so it falls back to walking the
+// buffers.
+func (n *Network) ActiveNodes() int {
+	c := 0
+	for _, r := range n.routers {
+		if n.engine == EngineSweep {
+			if r.bufferedFlits() > 0 {
+				c++
+			}
+			continue
+		}
+		if r.inOcc|r.outOcc != 0 {
+			c++
+		}
+	}
+	return c
+}
+
 // OccupancySnapshot counts the flits currently buffered per node.
 func (n *Network) OccupancySnapshot() []int {
 	out := make([]int, len(n.routers))

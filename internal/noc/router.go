@@ -74,9 +74,16 @@ func (v *outVC) flits() []*Flit { return v.q.live() }
 // outPort is one physical output channel with its VC queues and the
 // round-robin pointer arbitrating them onto the link.
 type outPort struct {
-	ch  topology.Channel
-	vcs []*outVC
-	rr  int // next VC to consider for link traversal
+	ch       topology.Channel
+	vcs      []*outVC
+	rr       int // next VC to consider for link traversal
+	slotBase int // index of vcs[0] in the router's flattened out slots
+
+	// peer and peerRouter cache the downstream input port and router of
+	// the channel (resolved once by NewNetwork), sparing the active
+	// engine a per-traversal lookup.
+	peer       *inPort
+	peerRouter *router
 }
 
 // routeEntry is the switching state the head flit configures: flits of
@@ -99,10 +106,11 @@ type routeEntry struct {
 // slot stops VC-1 traffic behind it, letting the dependency chain
 // re-enter VC 0 past the dateline and close a cycle.
 type inPort struct {
-	ch    topology.Channel
-	bufs  []fifo[*Flit] // per-VC receive slots
-	route []routeEntry  // per-VC switching state
-	rrVC  int           // round-robin VC pointer for the switch stage
+	ch       topology.Channel
+	bufs     []fifo[*Flit] // per-VC receive slots
+	route    []routeEntry  // per-VC switching state
+	rrVC     int           // round-robin VC pointer for the switch stage
+	slotBase int           // index of bufs[0] in the router's flattened in slots
 }
 
 func (p *inPort) full(vc, cap int) bool { return p.bufs[vc].len() >= cap }
@@ -127,29 +135,74 @@ type router struct {
 	out  []*outPort // indexed like topology.Out(node)
 	rrIn int        // round-robin start for switch allocation
 	rrEj int        // round-robin start for the ejection port
+
+	// Slot-occupancy masks for the activity-driven engine, one bit per
+	// flattened (port, VC) slot. inOcc marks non-empty input slots;
+	// ejOcc the subset whose head flit is destined to this node (so the
+	// switch stage skips them and the ejection stage finds them without
+	// scanning); outOcc marks non-empty output queues. The sweep engine
+	// ignores them; SetEngine rebuilds them from the buffers.
+	inOcc  uint64
+	ejOcc  uint64
+	outOcc uint64
+
+	// byDir maps a routing direction to its output port (nil when the
+	// node has no channel that way); Direction is a small dense enum,
+	// so a flat table replaces the linear scan on every routing
+	// decision.
+	byDir [topology.DirCount]*outPort
+
+	// slotIn and slotOut map a flattened slot index back to its port,
+	// so the mask-driven phase walks skip the divide by the VC count.
+	slotIn  []*inPort
+	slotOut []*outPort
 }
 
+// newRouter builds one node's switching element with a flattened slot
+// layout: the port structs, the per-VC receive slots, the switching
+// entries, and all output VC queues of the node each live in a single
+// contiguous block, so the per-cycle phase walks touch a handful of
+// cache lines per router instead of one heap object per slot.
 func newRouter(node int, t topology.Topology, vcs int) *router {
 	r := &router{node: node}
-	for _, c := range t.In(node) {
-		r.in = append(r.in, &inPort{ch: c, bufs: make([]fifo[*Flit], vcs), route: make([]routeEntry, vcs)})
-	}
-	for _, c := range t.Out(node) {
-		op := &outPort{ch: c}
+	ins, outs := t.In(node), t.Out(node)
+	inBlock := make([]inPort, len(ins))
+	bufBlock := make([]fifo[*Flit], len(ins)*vcs)
+	routeBlock := make([]routeEntry, len(ins)*vcs)
+	r.in = make([]*inPort, len(ins))
+	r.slotIn = make([]*inPort, len(ins)*vcs)
+	for i, c := range ins {
+		inBlock[i] = inPort{ch: c, bufs: bufBlock[i*vcs : (i+1)*vcs], route: routeBlock[i*vcs : (i+1)*vcs], slotBase: i * vcs}
+		r.in[i] = &inBlock[i]
 		for v := 0; v < vcs; v++ {
-			op.vcs = append(op.vcs, &outVC{})
+			r.slotIn[i*vcs+v] = &inBlock[i]
 		}
-		r.out = append(r.out, op)
+	}
+	outBlock := make([]outPort, len(outs))
+	vcBlock := make([]outVC, len(outs)*vcs)
+	r.out = make([]*outPort, len(outs))
+	r.slotOut = make([]*outPort, len(outs)*vcs)
+	for i, c := range outs {
+		op := &outBlock[i]
+		op.ch = c
+		op.slotBase = i * vcs
+		op.vcs = make([]*outVC, vcs)
+		for v := 0; v < vcs; v++ {
+			op.vcs[v] = &vcBlock[i*vcs+v]
+			r.slotOut[i*vcs+v] = op
+		}
+		r.out[i] = op
+		if int(c.Dir) < len(r.byDir) && r.byDir[c.Dir] == nil {
+			r.byDir[c.Dir] = op // first match, like the scan it replaces
+		}
 	}
 	return r
 }
 
 // outPortByDir returns the output port in the given direction, or nil.
 func (r *router) outPortByDir(d topology.Direction) *outPort {
-	for _, p := range r.out {
-		if p.ch.Dir == d {
-			return p
-		}
+	if int(d) < len(r.byDir) {
+		return r.byDir[d]
 	}
 	return nil
 }

@@ -21,6 +21,7 @@ type Ticker struct {
 	kernel *Kernel
 	period Time
 	phases []func(cycle uint64)
+	pace   func(cycle uint64, next Time) Time
 	cycle  uint64
 	event  *Event
 	run    bool
@@ -48,6 +49,21 @@ func (t *Ticker) OnTick(fn func(cycle uint64)) {
 		panic("sim: nil tick phase")
 	}
 	t.phases = append(t.phases, fn)
+}
+
+// OnPace installs a wake-scheduling hook consulted after each tick's
+// phases for the time of the next tick. It receives the just-completed
+// cycle index and the default next tick time (now + period) and
+// returns the time to actually schedule. Returning the default keeps
+// the ticker periodic; returning a later time skips the intervening
+// ticks — the cycle counter advances by the number of whole periods
+// skipped, as if the ticks had fired and done nothing. Clocked models
+// that can prove their skipped cycles are no-ops (an idle NoC between
+// two Poisson arrivals, found via Kernel.NextEventTime) use this to
+// fast-forward without paying one kernel event per empty cycle. An
+// earlier time than the default is ignored.
+func (t *Ticker) OnPace(fn func(cycle uint64, next Time) Time) {
+	t.pace = fn
 }
 
 // Start schedules the first tick at the current kernel time. Starting a
@@ -80,7 +96,15 @@ func (t *Ticker) tick() {
 		fn(c)
 	}
 	t.cycle++
-	if t.run {
-		t.event = t.kernel.ScheduleWithPriority(t.kernel.Now()+t.period, TickPriority, t.tick)
+	if !t.run {
+		return
 	}
+	next := t.kernel.Now() + t.period
+	if t.pace != nil {
+		if w := t.pace(c, next); w > next {
+			t.cycle += uint64((w-next)/t.period + 0.5)
+			next = w
+		}
+	}
+	t.event = t.kernel.ScheduleWithPriority(next, TickPriority, t.tick)
 }

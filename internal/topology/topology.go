@@ -31,6 +31,9 @@ const (
 	DirSouth
 	DirChord
 	DirChordBack
+
+	// DirCount bounds the enum for dense per-direction tables.
+	DirCount
 )
 
 var dirNames = map[Direction]string{
