@@ -6,7 +6,7 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: all build test vet fmt fmt-check bench bench-check bench-baseline ci
+.PHONY: all build test vet fmt fmt-check bench bench-check bench-alloc bench-baseline ci
 
 all: build
 
@@ -35,9 +35,20 @@ bench:
 bench-check:
 	set -o pipefail; $(GO) test -json -bench=PerfGate -benchtime=1x -run='^$$' . | tee bench-gate.json | $(GO) run ./cmd/benchgate -baseline bench-baseline.json
 
+# bench-alloc runs the same deterministic gate with -benchmem, so the
+# comparison artifact (bench-alloc.json) additionally carries Go's
+# allocs/op and B/op columns next to the gated steady-state
+# allocs/packet and bytes/packet metrics. The artifact is written by
+# tee before benchgate judges it, so it survives a failing gate — CI
+# uploads it either way.
+bench-alloc:
+	set -o pipefail; $(GO) test -json -bench=PerfGate -benchmem -benchtime=1x -run='^$$' . | tee bench-alloc.json | $(GO) run ./cmd/benchgate -baseline bench-baseline.json
+
 # bench-baseline refreshes the committed baseline after an intentional
 # perf change; commit the resulting bench-baseline.json.
 bench-baseline:
 	set -o pipefail; $(GO) test -json -bench=PerfGate -benchtime=1x -run='^$$' . | $(GO) run ./cmd/benchgate -baseline bench-baseline.json -update
 
-ci: build vet fmt-check test bench bench-check
+# ci runs bench-alloc rather than bench-check: it is the same gate
+# against the same baseline, with -benchmem columns added for free.
+ci: build vet fmt-check test bench bench-alloc

@@ -16,12 +16,19 @@
 // updated exactly where flits move, so a cycle costs time proportional
 // to in-flight work rather than network size, and core.Run
 // fast-forwards the clock across fully quiescent gaps between Poisson
-// arrivals via the kernel's next-event peek. The original
+// arrivals via the kernel's next-event peek. The steady state is also
+// allocation-free, and pooled by default: the network recycles packets
+// and their flit arrays through a conservation-checked freelist, the
+// kernel pools its event records behind the closure-free
+// handler-scheduling API (sim.Handler), generators batch all same-cycle
+// arrivals of a source into one event, and campaigns reuse one
+// network/kernel/collector workspace across replications. The original
 // scan-everything engine is retained (noc.EngineSweep) and golden
-// cross-engine tests prove both produce bit-identical Results; a
-// tracked perf gate (bench-baseline.json + cmd/benchgate, `make
-// bench-check`) fails CI when deterministic work counters regress
-// >15%. The experiment stack:
+// cross-engine tests prove engines, pooling modes and workspace reuse
+// all produce bit-identical Results; a tracked perf gate
+// (bench-baseline.json + cmd/benchgate, `make bench-check`) fails CI
+// when deterministic work counters or steady-state allocs/packet
+// regress beyond tolerance. The experiment stack:
 // campaigns expand crossed parameter grids — topology × size × traffic
 // × injection rate × replications — onto a cancellable worker pool and
 // stream per-run and mean/CI95 summary records to JSONL/CSV sinks,

@@ -10,35 +10,52 @@ import (
 )
 
 // runBothEngines executes s under the activity-driven engine (with its
-// idle fast-forward) and under the reference sweep engine, and fails
-// the test unless the two Results are bit-identical — struct equality
-// and serialized JSON both.
+// idle fast-forward) and under the reference sweep engine — each with
+// the packet pool enabled and disabled — and fails the test unless all
+// four Results are bit-identical — struct equality and serialized JSON
+// both. Engine and pooling are the two knobs documented as
+// result-neutral; this helper is the proof backing that claim for
+// every golden and randomized scenario.
 func runBothEngines(t *testing.T, s Scenario) Result {
 	t.Helper()
 	s.Engine = noc.EngineActive
+	s.NoPool = false
 	got, err := Run(s)
 	if err != nil {
 		t.Fatalf("%s [active]: %v", s.Label(), err)
 	}
-	s.Engine = noc.EngineSweep
-	want, err := Run(s)
-	if err != nil {
-		t.Fatalf("%s [sweep]: %v", s.Label(), err)
-	}
-	// The engine choice itself is the only permitted difference.
-	want.Scenario.Engine = got.Scenario.Engine
-	if !reflect.DeepEqual(got, want) {
-		t.Fatalf("%s: engines disagree:\nactive: %+v\nsweep:  %+v", s.Label(), got, want)
-	}
-	var ga, gs bytes.Buffer
-	if err := WriteResultJSON(&ga, got); err != nil {
-		t.Fatal(err)
-	}
-	if err := WriteResultJSON(&gs, want); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(ga.Bytes(), gs.Bytes()) {
-		t.Fatalf("%s: serialized results differ across engines", s.Label())
+	for _, v := range []struct {
+		name   string
+		engine noc.Engine
+		noPool bool
+	}{
+		{"sweep", noc.EngineSweep, false},
+		{"active/no-pool", noc.EngineActive, true},
+		{"sweep/no-pool", noc.EngineSweep, true},
+	} {
+		s.Engine = v.engine
+		s.NoPool = v.noPool
+		want, err := Run(s)
+		if err != nil {
+			t.Fatalf("%s [%s]: %v", s.Label(), v.name, err)
+		}
+		// The engine/pooling choice itself is the only permitted
+		// difference.
+		want.Scenario.Engine = got.Scenario.Engine
+		want.Scenario.NoPool = got.Scenario.NoPool
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: %s disagrees with active/pooled:\nactive: %+v\nother:  %+v", s.Label(), v.name, got, want)
+		}
+		var ga, gs bytes.Buffer
+		if err := WriteResultJSON(&ga, got); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteResultJSON(&gs, want); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ga.Bytes(), gs.Bytes()) {
+			t.Fatalf("%s: serialized results differ for %s", s.Label(), v.name)
+		}
 	}
 	return got
 }

@@ -78,23 +78,70 @@ func Run(s Scenario) (Result, error) {
 // which is what lets the perf-regression gate compare them against a
 // committed baseline across machines.
 func RunPerf(s Scenario) (Result, noc.PerfStats, error) {
+	var w Workspace
+	return w.RunPerf(s)
+}
+
+// Workspace owns the reusable heavy state of scenario execution: the
+// built network (with its packet pool), the event kernel (with its
+// pooled event records) and the statistics collector (with its sample
+// buffers). Consecutive Run calls whose scenarios share a networkKey —
+// every replication and rate point of a campaign curve — reset this
+// state instead of rebuilding it, so a warmed workspace executes a run
+// without allocator traffic on the packet path. A workspace run is
+// result-equivalent bit for bit to a fresh core.Run (proven by the
+// workspace golden tests); the zero value is ready to use and is not
+// safe for concurrent use.
+type Workspace struct {
+	key    string
+	net    *noc.Network
+	col    *stats.Collector
+	kernel *sim.Kernel
+}
+
+// Run executes the scenario on the workspace; see RunPerf.
+func (w *Workspace) Run(s Scenario) (Result, error) {
+	r, _, err := w.RunPerf(s)
+	return r, err
+}
+
+// RunPerf executes the scenario, reusing the workspace's network,
+// kernel and collector when the scenario's network geometry matches the
+// previous run's.
+func (w *Workspace) RunPerf(s Scenario) (Result, noc.PerfStats, error) {
 	if err := s.Validate(); err != nil {
-		return Result{}, noc.PerfStats{}, err
-	}
-	topo, alg, err := s.Build()
-	if err != nil {
 		return Result{}, noc.PerfStats{}, err
 	}
 	pattern, err := s.Pattern()
 	if err != nil {
 		return Result{}, noc.PerfStats{}, err
 	}
-	col := stats.NewCollector(s.Warmup)
-	net, err := noc.NewNetwork(topo, alg, s.Config, col)
-	if err != nil {
-		return Result{}, noc.PerfStats{}, err
+	key := s.networkKey()
+	if w.net != nil && w.key == key {
+		w.net.Reset()
+		w.col.Reset(s.Warmup)
+		w.kernel.Reset()
+	} else {
+		topo, alg, err := s.Build()
+		if err != nil {
+			return Result{}, noc.PerfStats{}, err
+		}
+		w.col = stats.NewCollector(s.Warmup)
+		w.net, err = noc.NewNetwork(topo, alg, s.Config, w.col)
+		if err != nil {
+			w.key, w.net = "", nil
+			return Result{}, noc.PerfStats{}, err
+		}
+		w.kernel = sim.NewKernel()
 	}
-	kernel := sim.NewKernel()
+	// The cached network is poisoned until this run completes cleanly: a
+	// failed run (a conservation violation in particular) can leave
+	// corruption — e.g. in the packet pool — that Reset does not repair,
+	// so an errored workspace rebuilds on its next use instead of
+	// reusing.
+	w.key = ""
+	net, col, kernel := w.net, w.col, w.kernel
+	net.SetPooling(!s.NoPool)
 	gen, err := traffic.NewGenerator(kernel, net, pattern, s.Process, s.Lambda, s.Seed)
 	if err != nil {
 		return Result{}, noc.PerfStats{}, err
@@ -144,7 +191,7 @@ func RunPerf(s Scenario) (Result, noc.PerfStats, error) {
 	sources := pattern.Sources(s.Nodes)
 	r := Result{
 		Scenario:          s,
-		TopologyName:      topo.Name(),
+		TopologyName:      net.Topology().Name(),
 		Sources:           sources,
 		OfferedFlitRate:   gen.OfferedFlitRate(),
 		Throughput:        col.Throughput(),
@@ -171,6 +218,7 @@ func RunPerf(s Scenario) (Result, noc.PerfStats, error) {
 	cm := analysis.DefaultCostModel()
 	r.EnergyPerPacket = cm.MeanPacketEnergy(r.MeanHops, s.Config.PacketLen)
 	r.TotalEnergy = r.EnergyPerPacket * float64(r.EjectedPackets)
+	w.key = key // clean run: the network is reusable again
 	return r, net.Perf(), nil
 }
 

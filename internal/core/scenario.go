@@ -89,6 +89,14 @@ type Scenario struct {
 	// serialized scenario — it changes how fast a result is computed,
 	// never what it is.
 	Engine noc.Engine `json:"-"`
+
+	// NoPool disables the network's packet/flit freelist for this run.
+	// Like Engine it is excluded from the cache key and serialization:
+	// pooled and unpooled runs are result-equivalent bit for bit (proven
+	// by the golden pool-on/pool-off tests), the toggle only changes
+	// allocator traffic. It exists for those golden tests and as a
+	// debugging fallback.
+	NoPool bool `json:"-"`
 }
 
 // NewScenario returns a scenario with the paper's defaults: Poisson

@@ -224,6 +224,7 @@ func (n *Network) activeEject() {
 					if n.onEject != nil {
 						n.onEject(f.Pkt)
 					}
+					n.recyclePacket(f.Pkt)
 				}
 			}
 		}

@@ -43,6 +43,7 @@ type Packet struct {
 
 	recv  int    // flits consumed at the destination so far
 	flits []Flit // backing storage for all of the packet's flits
+	free  bool   // resident on the network's packet pool (not leased)
 }
 
 // String renders a compact identification of the packet.

@@ -46,6 +46,17 @@ type Network struct {
 	modDivs []int
 	modTab  []uint32
 
+	// pool is the packet/flit freelist: every fully ejected packet
+	// returns here (after the ejection observers run) and InjectPacket
+	// leases from it before allocating, so the steady state of a run —
+	// and of every following run after Reset — creates packets without
+	// touching the allocator. recycled counts returns to the pool;
+	// CheckConservation proves recycled == ejected (no leak) and that no
+	// pooled packet is still buffered (no double-free).
+	pool     []*Packet
+	pooling  bool
+	recycled uint64
+
 	// linkFlits counts flit traversals per channel ID.
 	linkFlits []uint64
 	// onEject, when set, runs for every fully consumed packet.
@@ -80,7 +91,7 @@ func NewNetwork(t topology.Topology, a routing.Algorithm, cfg Config, col *stats
 	if a.VCs() < 1 {
 		return nil, fmt.Errorf("noc: algorithm %s declares %d VCs", a.Name(), a.VCs())
 	}
-	n := &Network{topo: t, alg: a, cfg: cfg, col: col}
+	n := &Network{topo: t, alg: a, cfg: cfg, col: col, pooling: true}
 	n.linkFlits = make([]uint64, len(t.Channels()))
 	if aa, ok := a.(routing.Adaptive); ok {
 		n.adaptive = aa
@@ -169,26 +180,81 @@ func (n *Network) InjectPacket(src, dst int) (*Packet, error) {
 	if n.cfg.SourceQueueCap > 0 && q.queue.len() >= n.cfg.SourceQueueCap {
 		return nil, ErrSourceQueueFull
 	}
-	p := &Packet{
-		ID:           n.nextPktID,
-		Src:          src,
-		Dst:          dst,
-		Len:          n.cfg.PacketLen,
-		CreatedCycle: n.cycle,
-	}
-	// All of the packet's flits share one backing array, allocated up
-	// front: injection hands out interior pointers instead of making a
-	// fresh allocation per flit.
-	p.flits = make([]Flit, p.Len)
-	for i := range p.flits {
-		p.flits[i] = Flit{Pkt: p, Seq: i}
-	}
+	p := n.leasePacket(src, dst)
 	n.nextPktID++
 	n.created++
 	q.queue.push(p)
 	n.niSet.add(src)
 	return p, nil
 }
+
+// leasePacket draws a packet from the freelist, falling back to a fresh
+// allocation while the pool warms up (or when pooling is off). All of
+// the packet's flits share one backing array; injection hands out
+// interior pointers instead of making a fresh allocation per flit, and
+// a recycled packet reuses the array outright.
+func (n *Network) leasePacket(src, dst int) *Packet {
+	var p *Packet
+	if k := len(n.pool); n.pooling && k > 0 {
+		p = n.pool[k-1]
+		n.pool[k-1] = nil
+		n.pool = n.pool[:k-1]
+		p.free = false
+		p.InjectedCycle = 0
+		p.Hops = 0
+		p.recv = 0
+	} else {
+		p = &Packet{flits: make([]Flit, n.cfg.PacketLen)}
+	}
+	p.ID = n.nextPktID
+	p.Src, p.Dst = src, dst
+	p.Len = n.cfg.PacketLen
+	p.CreatedCycle = n.cycle
+	for i := range p.flits {
+		p.flits[i] = Flit{Pkt: p, Seq: i}
+	}
+	return p
+}
+
+// recyclePacket returns a fully consumed packet to the freelist. It
+// runs at tail ejection, after statistics and the OnEject observers —
+// which therefore must not retain the *Packet past their return. A
+// second recycle of the same lease is always an accounting bug and
+// panics rather than corrupting the pool.
+func (n *Network) recyclePacket(p *Packet) {
+	if !n.pooling {
+		return
+	}
+	if p.free {
+		panic(fmt.Sprintf("noc: double recycle of %v", p))
+	}
+	p.free = true
+	n.recycled++
+	n.pool = append(n.pool, p)
+}
+
+// PoolSize returns the number of packets currently resident on the
+// freelist.
+func (n *Network) PoolSize() int { return len(n.pool) }
+
+// SetPooling enables or disables the packet freelist. The default is
+// enabled; the two modes are result-equivalent bit for bit (proven by
+// the golden pool-on/pool-off tests), so the toggle changes allocator
+// traffic, never results. It must be called before any packet exists —
+// on a freshly built or Reset network — because the conservation
+// accounting assumes one mode per run.
+func (n *Network) SetPooling(on bool) {
+	if n.created != 0 {
+		panic("noc: SetPooling on a network that already created packets")
+	}
+	n.pooling = on
+	if !on {
+		n.pool = nil
+	}
+}
+
+// Pooling reports whether the packet freelist is enabled.
+func (n *Network) Pooling() bool { return n.pooling }
 
 // ErrSourceQueueFull reports an Inject refused by a bounded source queue.
 var ErrSourceQueueFull = fmt.Errorf("noc: source queue full")
@@ -300,6 +366,7 @@ func (n *Network) ejectPhase() {
 					if n.onEject != nil {
 						n.onEject(f.Pkt)
 					}
+					n.recyclePacket(f.Pkt)
 				}
 			}
 		}
@@ -523,8 +590,11 @@ func (n *Network) IdleCycles() uint64 {
 // flit counts match packet bookkeeping. Under the active engine it
 // additionally proves the worklist bookkeeping: every buffered flit and
 // pending packet is reachable from its phase's active set (a flit off
-// its worklist would be stranded forever). It returns nil when
-// consistent.
+// its worklist would be stranded forever). With pooling enabled it also
+// proves the freelist accounting: every fully ejected packet was
+// recycled exactly once (no leak), the pool holds only distinct packets
+// marked free, and no live buffer or queue references a pooled packet
+// (no double-free). It returns nil when consistent.
 func (n *Network) CheckConservation() error {
 	if err := n.checkActiveInvariants(); err != nil {
 		return err
@@ -538,18 +608,29 @@ func (n *Network) CheckConservation() error {
 	// Count distinct packets with flits in buffers that are fully
 	// injected but not ejected. Walk buffers and collect.
 	seen := make(map[uint64]bool)
+	note := func(f *Flit) error {
+		if f.Pkt.free {
+			return fmt.Errorf("noc: pooled packet %v still buffered (double free)", f.Pkt)
+		}
+		seen[f.Pkt.ID] = true
+		return nil
+	}
 	for _, r := range n.routers {
 		for _, p := range r.in {
 			for i := range p.bufs {
 				for _, f := range p.bufs[i].live() {
-					seen[f.Pkt.ID] = true
+					if err := note(f); err != nil {
+						return err
+					}
 				}
 			}
 		}
 		for _, op := range r.out {
 			for _, v := range op.vcs {
 				for _, f := range v.flits() {
-					seen[f.Pkt.ID] = true
+					if err := note(f); err != nil {
+						return err
+					}
 				}
 			}
 		}
@@ -557,7 +638,15 @@ func (n *Network) CheckConservation() error {
 	queued := uint64(0)
 	for _, s := range n.nis {
 		queued += uint64(s.queue.len())
+		for _, p := range s.queue.live() {
+			if p.free {
+				return fmt.Errorf("noc: pooled packet %v still queued at source %d (double free)", p, s.node)
+			}
+		}
 		if s.sending != nil {
+			if s.sending.free {
+				return fmt.Errorf("noc: pooled packet %v mid-injection at source %d (double free)", s.sending, s.node)
+			}
 			delete(seen, s.sending.ID) // counted as sending already
 		}
 	}
@@ -574,7 +663,107 @@ func (n *Network) CheckConservation() error {
 	if total > n.created {
 		return fmt.Errorf("noc: conservation violated (overcount): created %d, accounted %d", n.created, total)
 	}
+	return n.checkPool()
+}
+
+// checkPool proves the freelist accounting under pooling: recycles
+// mirror ejections one for one and the pool contains exactly the
+// recycled-minus-releeased population, each entry distinct and marked
+// free. (Buffer and queue walks in CheckConservation already rejected
+// any free packet still live.)
+func (n *Network) checkPool() error {
+	if !n.pooling {
+		return nil
+	}
+	if n.recycled != n.ejected {
+		return fmt.Errorf("noc: pool leak: %d packets ejected but %d recycled", n.ejected, n.recycled)
+	}
+	distinct := make(map[*Packet]bool, len(n.pool))
+	for _, p := range n.pool {
+		switch {
+		case p == nil:
+			return fmt.Errorf("noc: nil entry on the packet pool")
+		case !p.free:
+			return fmt.Errorf("noc: pool holds leased packet %v (missing free mark)", p)
+		case distinct[p]:
+			return fmt.Errorf("noc: packet %v pooled twice (double free)", p)
+		}
+		distinct[p] = true
+	}
 	return nil
+}
+
+// Reset returns the network to its just-constructed state — empty
+// buffers and queues, zeroed counters and round-robin pointers, no
+// ejection callback — while keeping every allocated structure: the
+// routers, the per-slot buffer arrays, and above all the packet pool,
+// to which all in-flight and queued packets are reclaimed first. A
+// reset network therefore runs the next scenario bit for bit like a
+// freshly built one but with a warm freelist, which is what lets a
+// campaign reuse one network across replications instead of rebuilding
+// it per run. The engine selection is preserved; pooling may be
+// retoggled afterwards (created is back to zero).
+func (n *Network) Reset() {
+	for _, r := range n.routers {
+		for _, p := range r.in {
+			for vc := range p.bufs {
+				for _, f := range p.bufs[vc].live() {
+					n.reclaim(f.Pkt)
+				}
+				p.bufs[vc].reset()
+				p.route[vc] = routeEntry{}
+			}
+			p.rrVC = 0
+		}
+		for _, op := range r.out {
+			for _, v := range op.vcs {
+				for _, f := range v.q.live() {
+					n.reclaim(f.Pkt)
+				}
+				v.q.reset()
+				v.owner = nil
+			}
+			op.rr = 0
+		}
+		r.rrIn, r.rrEj = 0, 0
+		r.inOcc, r.ejOcc, r.outOcc = 0, 0, 0
+	}
+	for _, s := range n.nis {
+		for _, p := range s.queue.live() {
+			n.reclaim(p)
+		}
+		s.queue.reset()
+		if s.sending != nil {
+			n.reclaim(s.sending)
+			s.sending = nil
+		}
+		s.nextSeq, s.vc = 0, 0
+		s.route = routeEntry{}
+	}
+	for i := range n.linkFlits {
+		n.linkFlits[i] = 0
+	}
+	n.cycle, n.nextPktID = 0, 0
+	n.created, n.ejected, n.injected, n.recycled = 0, 0, 0, 0
+	n.lastActivity, n.moved = 0, false
+	n.visits, n.skipped = 0, 0
+	n.onEject = nil
+	n.ejSet.clear()
+	n.swSet.clear()
+	n.outSet.clear()
+	n.niSet.clear()
+	n.rebuildModTab()
+}
+
+// reclaim returns a still-live packet to the pool during Reset. A worm
+// spread across several buffers reaches reclaim once per flit; the free
+// mark deduplicates. Without pooling the packet is simply dropped.
+func (n *Network) reclaim(p *Packet) {
+	if !n.pooling || p.free {
+		return
+	}
+	p.free = true
+	n.pool = append(n.pool, p)
 }
 
 // Drain runs the network without new injections until all traffic is

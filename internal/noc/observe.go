@@ -13,7 +13,10 @@ import (
 // OnEject registers fn to run whenever a packet's tail flit is consumed
 // at its destination, after statistics are recorded. Callbacks may
 // inject new packets (e.g. replies); they run inside Step, in ejection
-// order. Passing nil clears the callback.
+// order. The packet is recycled onto the network's freelist when the
+// callback returns, so callbacks must copy out any fields they need
+// (ID, endpoints, cycles) rather than retain the *Packet. Passing nil
+// clears the callback.
 func (n *Network) OnEject(fn func(p *Packet)) { n.onEject = fn }
 
 // ChannelTraversals returns, indexed by channel ID, the number of flit

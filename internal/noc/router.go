@@ -50,6 +50,17 @@ func (q *fifo[T]) pop() T {
 // queue; callers must not retain it across a push or pop.
 func (q *fifo[T]) live() []T { return q.items[q.start:] }
 
+// reset empties the queue, zeroing the live elements (dropping their
+// references) but keeping the backing array for reuse.
+func (q *fifo[T]) reset() {
+	var zero T
+	for i := q.start; i < len(q.items); i++ {
+		q.items[i] = zero
+	}
+	q.items = q.items[:0]
+	q.start = 0
+}
+
 // outVC is one output queue of a physical output channel — the paper's
 // "multiple output queues for each physical link". It is a FIFO of
 // flits with an ownership discipline guaranteeing that the flits of two

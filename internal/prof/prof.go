@@ -1,17 +1,23 @@
 // Package prof arms the optional -cpuprofile/-memprofile outputs of
 // the command-line tools, so hot-path work in any simulation run is
-// measurable with go tool pprof without editing code.
+// measurable with go tool pprof without editing code. When a heap
+// profile is requested the package also prints an end-of-run allocation
+// summary to stderr — total heap objects and bytes allocated across the
+// run — giving an at-a-glance read on the zero-allocation hot path
+// without opening the profile.
 package prof
 
 import (
+	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 )
 
 // Start begins the requested profiles (empty paths disable each). The
-// returned stop function ends the CPU profile and writes the heap
-// profile; call it once, before a normal exit.
+// returned stop function ends the CPU profile, writes the heap profile,
+// and prints the allocation summary; call it once, before a normal
+// exit.
 func Start(cpuPath, memPath string) (stop func() error, err error) {
 	var cpuFile *os.File
 	if cpuPath != "" {
@@ -24,6 +30,10 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			return nil, err
 		}
 	}
+	var before runtime.MemStats
+	if memPath != "" {
+		runtime.ReadMemStats(&before)
+	}
 	return func() error {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
@@ -32,6 +42,12 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			}
 		}
 		if memPath != "" {
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			fmt.Fprintf(os.Stderr, "# alloc: %d heap objects, %s allocated, %d GC cycles (run total; see %s for the live profile)\n",
+				after.Mallocs-before.Mallocs,
+				fmtBytes(after.TotalAlloc-before.TotalAlloc),
+				after.NumGC-before.NumGC, memPath)
 			f, err := os.Create(memPath)
 			if err != nil {
 				return err
@@ -45,4 +61,18 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 		}
 		return nil
 	}, nil
+}
+
+// fmtBytes renders a byte count with a binary unit prefix.
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
 }

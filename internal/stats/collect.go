@@ -33,6 +33,24 @@ func NewCollector(warmup uint64) *Collector {
 	return &Collector{WarmupCycles: warmup}
 }
 
+// Reset clears every measurement and installs a new warm-up window,
+// keeping the allocated latency-sample storage — a reset collector
+// observes a fresh run exactly like a new one, which lets campaign
+// replications reuse one collector instead of reallocating its sample
+// buffers per run.
+func (c *Collector) Reset(warmup uint64) {
+	c.WarmupCycles = warmup
+	c.packetsInjected, c.flitsInjected = 0, 0
+	c.packetsEjected, c.flitsEjected = 0, 0
+	c.sourceBlocked = 0
+	c.latency.Reset()
+	c.latencyQ.Reset()
+	c.hopCounts.Reset()
+	c.netLat.Reset()
+	c.firstMeasured, c.lastCycle = 0, 0
+	c.started = false
+}
+
 // Measuring reports whether the given cycle is past warm-up.
 func (c *Collector) Measuring(cycle uint64) bool { return cycle >= c.WarmupCycles }
 

@@ -186,6 +186,13 @@ func (q *Quantiler) Add(x float64) {
 // Count returns the number of observations.
 func (q *Quantiler) Count() int { return len(q.xs) }
 
+// Reset discards all observations, keeping the sample storage for
+// reuse.
+func (q *Quantiler) Reset() {
+	q.xs = q.xs[:0]
+	q.sorted = false
+}
+
 // Quantile returns the p-quantile (0 <= p <= 1) with linear
 // interpolation, or NaN with no observations.
 func (q *Quantiler) Quantile(p float64) float64 {

@@ -29,7 +29,9 @@ type RequestReply struct {
 	masters []int
 	slaves  []int
 	rate    float64
-	rngs    map[int]*sim.RNG
+	rngs    []*sim.RNG // per-master streams, indexed by node
+	next    []sim.Time // pre-drawn next-request horizon per master node
+	batch   bool
 
 	isSlave   map[int]bool
 	isMaster  map[int]bool
@@ -56,7 +58,9 @@ func NewRequestReply(k *sim.Kernel, net *noc.Network, masters, slaves []int, rat
 		masters:  masters,
 		slaves:   slaves,
 		rate:     rate,
-		rngs:     make(map[int]*sim.RNG),
+		rngs:     make([]*sim.RNG, n),
+		next:     make([]sim.Time, n),
+		batch:    true,
 		isSlave:  make(map[int]bool),
 		isMaster: make(map[int]bool),
 		pending:  make(map[uint64]uint64),
@@ -81,6 +85,15 @@ func NewRequestReply(k *sim.Kernel, net *noc.Network, masters, slaves []int, rat
 	return rr, nil
 }
 
+// SetBatching toggles same-cycle request batching before Start; both
+// modes emit the identical request stream (see Generator.SetBatching).
+func (rr *RequestReply) SetBatching(on bool) {
+	if rr.started {
+		panic("traffic: SetBatching after Start")
+	}
+	rr.batch = on
+}
+
 // Start installs the reply hook and schedules the first request of
 // every master.
 func (rr *RequestReply) Start() {
@@ -89,16 +102,30 @@ func (rr *RequestReply) Start() {
 	}
 	rr.started = true
 	rr.net.OnEject(rr.onEject)
+	now := rr.kernel.Now()
 	for _, m := range rr.masters {
-		m := m
-		r := rr.rngs[m]
-		var arrive func()
-		arrive = func() {
-			rr.sendRequest(m, r)
-			rr.kernel.ScheduleAfter(sim.Time(r.Exp(rr.rate)), arrive)
-		}
-		rr.kernel.ScheduleAfter(sim.Time(r.Exp(rr.rate)), arrive)
+		rr.next[m] = now + sim.Time(rr.rngs[m].Exp(rr.rate))
+		rr.kernel.ScheduleEvent(rr.next[m], 0, rr, m)
 	}
+}
+
+// Fire implements sim.Handler on the masters' request streams: like
+// Generator, it emits the due request plus every follow-up landing in
+// the same cycle from one pooled kernel event (replies ride the
+// ejection callback inside ticks and need no events of their own).
+func (rr *RequestReply) Fire(master int) {
+	r := rr.rngs[master]
+	t := rr.next[master]
+	cycle := arrivalCycle(t)
+	for {
+		rr.sendRequest(master, r)
+		t += sim.Time(r.Exp(rr.rate))
+		if !rr.batch || arrivalCycle(t) != cycle {
+			break
+		}
+	}
+	rr.next[master] = t
+	rr.kernel.ScheduleEvent(t, 0, rr, master)
 }
 
 func (rr *RequestReply) sendRequest(master int, r *sim.RNG) {
@@ -169,15 +196,27 @@ func (o OnOff) Validate() error {
 }
 
 // OnOffGenerator drives every source node of a pattern with an
-// independent OnOff process.
+// independent OnOff process. Like Generator, it is closure-free (one
+// pooled kernel event per source) and batches same-cycle arrivals
+// within a burst.
 type OnOffGenerator struct {
 	kernel  *sim.Kernel
 	net     *noc.Network
 	pattern Pattern
 	shape   OnOff
 	rngs    []*sim.RNG
+	state   []onOffState
 	offered uint64
 	started bool
+	batch   bool
+}
+
+// onOffState is one source's Markov state: whether the node is inside a
+// burst, when the burst ends, and the pre-drawn next arrival time.
+type onOffState struct {
+	on   bool
+	end  sim.Time // burst end (valid while on)
+	next sim.Time // next arrival time (valid while on)
 }
 
 // NewOnOffGenerator builds the generator over net for the pattern's
@@ -187,7 +226,8 @@ func NewOnOffGenerator(k *sim.Kernel, net *noc.Network, p Pattern, shape OnOff, 
 		return nil, err
 	}
 	n := net.Topology().Nodes()
-	g := &OnOffGenerator{kernel: k, net: net, pattern: p, shape: shape, rngs: make([]*sim.RNG, n)}
+	g := &OnOffGenerator{kernel: k, net: net, pattern: p, shape: shape,
+		rngs: make([]*sim.RNG, n), state: make([]onOffState, n), batch: true}
 	master := sim.NewRNG(seed)
 	for i := 0; i < n; i++ {
 		g.rngs[i] = master.Split()
@@ -197,6 +237,15 @@ func NewOnOffGenerator(k *sim.Kernel, net *noc.Network, p Pattern, shape OnOff, 
 
 // OfferedPackets returns the packets generated so far.
 func (g *OnOffGenerator) OfferedPackets() uint64 { return g.offered }
+
+// SetBatching toggles same-cycle arrival batching before Start; both
+// modes emit the identical packet stream (see Generator.SetBatching).
+func (g *OnOffGenerator) SetBatching(on bool) {
+	if g.started {
+		panic("traffic: SetBatching after Start")
+	}
+	g.batch = on
+}
 
 // Start schedules the burst processes. Sources begin in the OFF state.
 func (g *OnOffGenerator) Start() {
@@ -208,34 +257,47 @@ func (g *OnOffGenerator) Start() {
 		if _, ok := g.pattern.Destination(node, g.rngs[node].Split()); !ok {
 			continue
 		}
-		g.scheduleOff(node)
+		// Wait out an OFF sojourn; the event fires at burst start.
+		off := sim.Time(g.rngs[node].Exp(1 / g.shape.OffMean))
+		g.kernel.ScheduleEvent(g.kernel.Now()+off, 0, g, node)
 	}
 }
 
-// scheduleOff waits out an OFF sojourn then enters ON.
-func (g *OnOffGenerator) scheduleOff(node int) {
+// Fire implements sim.Handler: an event for an OFF node opens a burst
+// (drawing its duration and first arrival); an event for an ON node
+// emits the due arrival plus every same-cycle follow-up, transitioning
+// back to OFF when the pre-drawn burst end is crossed. All scheduling
+// uses the arrival's own absolute time, so batched emission keeps the
+// exact event times of the unbatched chain.
+func (g *OnOffGenerator) Fire(node int) {
 	r := g.rngs[node]
-	off := sim.Time(r.Exp(1 / g.shape.OffMean))
-	g.kernel.ScheduleAfter(off, func() { g.burst(node) })
-}
-
-// burst runs one ON sojourn: Poisson arrivals at PeakRate until the
-// pre-drawn ON duration elapses, then back to OFF.
-func (g *OnOffGenerator) burst(node int) {
-	r := g.rngs[node]
-	duration := r.Exp(1 / g.shape.OnMean)
-	end := g.kernel.Now() + sim.Time(duration)
-	var arrive func()
-	arrive = func() {
-		if g.kernel.Now() >= end {
-			g.scheduleOff(node)
+	st := &g.state[node]
+	if !st.on {
+		st.on = true
+		st.end = g.kernel.Now() + sim.Time(r.Exp(1/g.shape.OnMean))
+		st.next = g.kernel.Now() + sim.Time(r.Exp(g.shape.PeakRate))
+		g.kernel.ScheduleEvent(st.next, 0, g, node)
+		return
+	}
+	t := st.next
+	cycle := arrivalCycle(t)
+	for {
+		if t >= st.end {
+			// Burst over: enter OFF, waking again at burst start.
+			st.on = false
+			off := sim.Time(r.Exp(1 / g.shape.OffMean))
+			g.kernel.ScheduleEvent(t+off, 0, g, node)
 			return
 		}
 		if dst, ok := g.pattern.Destination(node, r); ok && dst != node {
 			g.offered++
 			_ = g.net.Inject(node, dst)
 		}
-		g.kernel.ScheduleAfter(sim.Time(r.Exp(g.shape.PeakRate)), arrive)
+		t += sim.Time(r.Exp(g.shape.PeakRate))
+		if !g.batch || arrivalCycle(t) != cycle {
+			break
+		}
 	}
-	g.kernel.ScheduleAfter(sim.Time(r.Exp(g.shape.PeakRate)), arrive)
+	st.next = t
+	g.kernel.ScheduleEvent(t, 0, g, node)
 }

@@ -1,0 +1,183 @@
+package traffic
+
+import (
+	"fmt"
+	"testing"
+
+	"gonoc/internal/noc"
+	"gonoc/internal/sim"
+)
+
+// netSummary captures everything observable about a driven network —
+// counters, per-channel traversals, buffer occupancy, and the latency
+// distribution down to its quantiles. Any difference in the injected
+// packet stream (count, timing, destination, or per-queue order) shows
+// up here.
+func netSummary(net *noc.Network) string {
+	col := net.Collector()
+	return fmt.Sprintf("cycle=%d created=%d injected=%d ejected=%d queued=%d inflight=%d links=%v lat=%v p50=%v p95=%v hops=%v blocked=%d",
+		net.Cycle(), net.CreatedPackets(), net.InjectedPackets(), net.EjectedPackets(),
+		net.QueuedPackets(), net.InFlightFlits(), net.ChannelTraversals(),
+		col.MeanLatency(), col.LatencyQuantile(0.5), col.LatencyQuantile(0.95),
+		col.MeanHops(), col.SourceBlockedCycles())
+}
+
+// driveGenerator runs one Poisson generator to the horizon and returns
+// the network summary plus the offered-packet count.
+func driveGenerator(t *testing.T, nodes int, rate float64, seed uint64, batch bool) (string, uint64) {
+	t.Helper()
+	net := buildNet(t, nodes)
+	k := sim.NewKernel()
+	g, err := NewGenerator(k, net, Uniform{N: nodes}, Poisson, rate, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetBatching(batch)
+	g.Start()
+	tick := sim.NewTicker(k, 1)
+	tick.OnTick(func(uint64) { net.Step() })
+	tick.Start()
+	k.RunUntil(4000)
+	return netSummary(net), g.OfferedPackets()
+}
+
+// Batched emission must produce the identical packet stream to the
+// one-event-per-arrival reference — same seed, same arrivals, same
+// cycles, same deliveries — from well below saturation (where batching
+// rarely engages) to far past it (where most events carry several
+// same-cycle arrivals).
+func TestGeneratorBatchedMatchesUnbatched(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		rate float64
+		seed uint64
+	}{
+		{"low", 0.01, 42},
+		{"knee", 0.07, 7},
+		{"saturated", 0.6, 99},
+		{"deep-saturation", 2.5, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			batched, offB := driveGenerator(t, 16, tc.rate, tc.seed, true)
+			plain, offP := driveGenerator(t, 16, tc.rate, tc.seed, false)
+			if offB != offP {
+				t.Fatalf("offered packets differ: batched %d, unbatched %d", offB, offP)
+			}
+			if offB == 0 {
+				t.Fatal("degenerate run: nothing offered")
+			}
+			if batched != plain {
+				t.Fatalf("packet streams diverged:\nbatched:   %s\nunbatched: %s", batched, plain)
+			}
+		})
+	}
+}
+
+// Past saturation batching must actually collapse events: the kernel
+// should process far fewer events than arrivals.
+func TestGeneratorBatchingCollapsesEvents(t *testing.T) {
+	run := func(batch bool) (events, offered uint64) {
+		net := buildNet(t, 16)
+		k := sim.NewKernel()
+		g, err := NewGenerator(k, net, Uniform{N: 16}, Poisson, 2.0, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.SetBatching(batch)
+		g.Start()
+		tick := sim.NewTicker(k, 1)
+		tick.OnTick(func(uint64) { net.Step() })
+		tick.Start()
+		k.RunUntil(2000)
+		return k.Processed(), g.OfferedPackets()
+	}
+	evB, offB := run(true)
+	evP, offP := run(false)
+	if offB != offP {
+		t.Fatalf("offered differ: %d vs %d", offB, offP)
+	}
+	// λ=2 packets/cycle/source means ~2 arrivals per event when batched.
+	if evB*3 > evP*2 {
+		t.Fatalf("batching saved too little: %d events batched vs %d unbatched (%d arrivals)", evB, evP, offB)
+	}
+}
+
+// The Start-time RNG draw order is part of the stream contract: a
+// generator must offer the same packets the standalone Record pre-draw
+// produces for the same seed (Record is the unbatched reference
+// implementation that never touches a kernel).
+func TestGeneratorMatchesRecordedOfferCount(t *testing.T) {
+	const (
+		nodes   = 12
+		rate    = 0.05
+		seed    = 1234
+		horizon = 3000
+	)
+	tr := Record(Uniform{N: nodes}, Poisson, rate, nodes, horizon, seed)
+
+	net := buildNet(t, nodes)
+	k := sim.NewKernel()
+	g, err := NewGenerator(k, net, Uniform{N: nodes}, Poisson, rate, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	tick := sim.NewTicker(k, 1)
+	tick.OnTick(func(uint64) { net.Step() })
+	tick.Start()
+	k.RunUntil(horizon)
+	// Record cuts at arrival time < horizon, the live generator at event
+	// dispatch <= horizon; the counts may differ by at most the final
+	// arrival per source.
+	diff := int(g.OfferedPackets()) - len(tr.Events)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > nodes {
+		t.Fatalf("generator offered %d packets, Record pre-drew %d", g.OfferedPackets(), len(tr.Events))
+	}
+}
+
+// OnOff and RequestReply share the batched handler path; batched and
+// unbatched emission must produce the identical streams, at a bursty
+// peak rate high enough that batching engages within bursts.
+func TestAppGeneratorsBatchedMatchUnbatched(t *testing.T) {
+	runOnOff := func(batch bool) string {
+		net := buildNet(t, 16)
+		k := sim.NewKernel()
+		g, err := NewOnOffGenerator(k, net, Uniform{N: 16}, OnOff{PeakRate: 2.5, OnMean: 40, OffMean: 120}, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.SetBatching(batch)
+		g.Start()
+		tick := sim.NewTicker(k, 1)
+		tick.OnTick(func(uint64) { net.Step() })
+		tick.Start()
+		k.RunUntil(5000)
+		return fmt.Sprintf("off=%d %s", g.OfferedPackets(), netSummary(net))
+	}
+	if a, b := runOnOff(true), runOnOff(false); a != b {
+		t.Fatalf("on/off streams diverged:\nbatched:   %s\nunbatched: %s", a, b)
+	}
+
+	runRR := func(batch bool) string {
+		net := buildNet(t, 16)
+		k := sim.NewKernel()
+		rr, err := NewRequestReply(k, net, []int{0, 1, 2, 3}, []int{8, 9}, 1.2, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr.SetBatching(batch)
+		rr.Start()
+		tick := sim.NewTicker(k, 1)
+		tick.OnTick(func(uint64) { net.Step() })
+		tick.Start()
+		k.RunUntil(5000)
+		return fmt.Sprintf("req=%d rep=%d done=%d rt=%v %s",
+			rr.Requests(), rr.Replies(), rr.CompletedTransactions(), rr.RoundTrip().Mean(), netSummary(net))
+	}
+	if a, b := runRR(true), runRR(false); a != b {
+		t.Fatalf("request-reply streams diverged:\nbatched:   %s\nunbatched: %s", a, b)
+	}
+}

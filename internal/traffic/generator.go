@@ -2,6 +2,7 @@ package traffic
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"gonoc/internal/noc"
@@ -14,6 +15,16 @@ import (
 // paper's source model) or Bernoulli (one arrival per cycle with
 // probability λ). Every node draws from its own RNG stream, so results
 // are reproducible and independent of node count changes elsewhere.
+//
+// The generator is closure-free on the hot path: it implements
+// sim.Handler and schedules (generator, node) pairs through the
+// kernel's pooled event records, and Poisson arrivals are batched — one
+// kernel event emits every arrival of a source that lands in the same
+// clock cycle (see fire), so a saturated run pays O(sources with work)
+// events per cycle instead of O(arrivals). Batched and unbatched
+// emission produce the identical packet stream (same per-source RNG
+// draw order, same injection cycles, same per-queue order), proven by
+// the determinism tests.
 type Generator struct {
 	kernel  *sim.Kernel
 	net     *noc.Network
@@ -21,8 +32,17 @@ type Generator struct {
 	process Process
 	rates   []float64
 	rngs    []*sim.RNG
+	// isSource caches pattern membership per node, hoisted to
+	// construction so rate queries never re-probe the pattern (the seed
+	// OfferedFlitRate allocated a throwaway RNG per node per call).
+	isSource []bool
+	// next is the pre-drawn arrival horizon: next[node] is the time of
+	// the node's next Poisson arrival, maintained across batched
+	// emissions in a reusable buffer instead of a captured closure each.
+	next    []sim.Time
 	offered uint64
 	started bool
+	batch   bool
 }
 
 // Process selects the interarrival model.
@@ -46,17 +66,24 @@ func NewGenerator(k *sim.Kernel, net *noc.Network, p Pattern, proc Process, rate
 	}
 	n := net.Topology().Nodes()
 	g := &Generator{
-		kernel:  k,
-		net:     net,
-		pattern: p,
-		process: proc,
-		rates:   make([]float64, n),
-		rngs:    make([]*sim.RNG, n),
+		kernel:   k,
+		net:      net,
+		pattern:  p,
+		process:  proc,
+		rates:    make([]float64, n),
+		rngs:     make([]*sim.RNG, n),
+		isSource: make([]bool, n),
+		next:     make([]sim.Time, n),
+		batch:    true,
 	}
 	master := sim.NewRNG(seed)
+	probe := sim.NewRNG(0)
 	for i := 0; i < n; i++ {
 		g.rates[i] = rate
 		g.rngs[i] = master.Split()
+		// Source membership is structural for every Pattern (it never
+		// depends on the probe's draws), so one shared probe suffices.
+		_, g.isSource[i] = p.Destination(i, probe)
 	}
 	return g, nil
 }
@@ -80,11 +107,22 @@ func (g *Generator) OfferedPackets() uint64 { return g.offered }
 func (g *Generator) OfferedFlitRate() float64 {
 	sum := 0.0
 	for node, r := range g.rates {
-		if _, ok := g.pattern.Destination(node, sim.NewRNG(0)); ok {
+		if g.isSource[node] {
 			sum += r
 		}
 	}
 	return sum * float64(g.net.Config().PacketLen)
+}
+
+// SetBatching toggles same-cycle arrival batching before Start. Both
+// modes emit the identical packet stream; the unbatched mode pays one
+// kernel event per arrival and exists as the reference the determinism
+// tests compare against.
+func (g *Generator) SetBatching(on bool) {
+	if g.started {
+		panic("traffic: SetBatching after Start")
+	}
+	g.batch = on
 }
 
 // Start schedules the first arrival of every source. Call once, before
@@ -94,6 +132,7 @@ func (g *Generator) Start() {
 		panic("traffic: generator started twice")
 	}
 	g.started = true
+	now := g.kernel.Now()
 	for node := range g.rates {
 		if g.rates[node] <= 0 {
 			continue
@@ -103,35 +142,54 @@ func (g *Generator) Start() {
 		}
 		switch g.process {
 		case Poisson:
-			g.schedulePoisson(node)
+			g.next[node] = now + sim.Time(g.rngs[node].Exp(g.rates[node]))
+			g.kernel.ScheduleEvent(g.next[node], 0, g, node)
 		case Bernoulli:
-			g.scheduleBernoulli(node)
+			g.kernel.ScheduleEvent(now+1, 0, g, node)
 		default:
 			panic(fmt.Sprintf("traffic: unknown process %d", g.process))
 		}
 	}
 }
 
-func (g *Generator) schedulePoisson(node int) {
-	r := g.rngs[node]
-	var arrive func()
-	arrive = func() {
-		g.emit(node, r)
-		g.kernel.ScheduleAfter(sim.Time(r.Exp(g.rates[node])), arrive)
-	}
-	g.kernel.ScheduleAfter(sim.Time(r.Exp(g.rates[node])), arrive)
-}
+// arrivalCycle maps an event time to the clock cycle whose pipeline
+// step first observes it: ticks fire at integer times after same-time
+// ordinary events (sim.TickPriority), so an arrival at time t is seen
+// by — and injected during — cycle ceil(t).
+func arrivalCycle(t sim.Time) uint64 { return uint64(math.Ceil(float64(t))) }
 
-func (g *Generator) scheduleBernoulli(node int) {
+// Fire implements sim.Handler: one event per source, dispatched by the
+// configured process.
+func (g *Generator) Fire(node int) {
 	r := g.rngs[node]
-	var tick func()
-	tick = func() {
+	switch g.process {
+	case Poisson:
+		// Emit the due arrival, then every pre-drawn follow-up landing in
+		// the same cycle: the network cannot observe intra-cycle arrival
+		// times (no tick runs in between, and same-source packets keep
+		// their queue order), so one kernel event stands in for all of
+		// them. The destination draw stays interleaved with the
+		// interarrival draw exactly as in unbatched emission — pre-drawing
+		// times ahead of destinations would reorder the RNG stream.
+		t := g.next[node]
+		cycle := arrivalCycle(t)
+		for {
+			g.emit(node, r)
+			t += sim.Time(r.Exp(g.rates[node]))
+			if !g.batch || arrivalCycle(t) != cycle {
+				break
+			}
+		}
+		g.next[node] = t
+		g.kernel.ScheduleEvent(t, 0, g, node)
+	case Bernoulli:
+		// One coin per cycle per source: every cycle must draw, so there
+		// is nothing to batch — but the event record is still pooled.
 		if r.Bernoulli(g.rates[node]) {
 			g.emit(node, r)
 		}
-		g.kernel.ScheduleAfter(1, tick)
+		g.kernel.ScheduleEvent(g.kernel.Now()+1, 0, g, node)
 	}
-	g.kernel.ScheduleAfter(1, tick)
 }
 
 func (g *Generator) emit(node int, r *sim.RNG) {
@@ -205,15 +263,28 @@ func sortTrace(ev []TraceEvent) {
 	})
 }
 
+// traceReplay injects trace events by index — the closure-free handler
+// behind Trace.Replay.
+type traceReplay struct {
+	trace *Trace
+	net   *noc.Network
+}
+
+// Fire implements sim.Handler: inject trace event i.
+func (tr *traceReplay) Fire(i int) {
+	e := tr.trace.Events[i]
+	_ = tr.net.Inject(e.Src, e.Dst)
+}
+
 // Replay schedules the trace's events on kernel k against net. Events
 // whose endpoints exceed the network size are skipped.
 func (t *Trace) Replay(k *sim.Kernel, net *noc.Network) {
 	n := net.Topology().Nodes()
-	for _, e := range t.Events {
+	tr := &traceReplay{trace: t, net: net}
+	for i, e := range t.Events {
 		if e.Src >= n || e.Dst >= n || e.Src == e.Dst {
 			continue
 		}
-		e := e
-		k.Schedule(sim.Time(e.Cycle), func() { _ = net.Inject(e.Src, e.Dst) })
+		k.ScheduleEvent(sim.Time(e.Cycle), 0, tr, i)
 	}
 }
