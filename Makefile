@@ -6,7 +6,7 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: all build test vet fmt fmt-check bench bench-check bench-alloc bench-baseline ci
+.PHONY: all build test vet fmt fmt-check bench bench-check bench-alloc bench-baseline bench-speedup race-parallel ci
 
 all: build
 
@@ -49,6 +49,20 @@ bench-alloc:
 bench-baseline:
 	set -o pipefail; $(GO) test -json -bench=PerfGate -benchtime=1x -run='^$$' . | $(GO) run ./cmd/benchgate -baseline bench-baseline.json -update
 
+# bench-speedup re-runs just the domain-decomposed knee point and keeps
+# its raw output (bench-speedup.json): the 'speedup' metric there is the
+# measured intra-scenario wall-clock gain of -step-parallel over the
+# serial engine on THIS host (report-only — it scales with core count,
+# so it is never gated). CI uploads it next to bench-alloc.json.
+bench-speedup:
+	set -o pipefail; $(GO) test -json -bench='PerfGate/knee-parallel' -benchtime=1x -run='^$$' . | tee bench-speedup.json
+
+# race-parallel runs the parallel-engine golden/fuzz suites under the
+# race detector with their bounded cycle counts — the determinism AND
+# memory-model proof of the domain-decomposed Step.
+race-parallel:
+	$(GO) test -race -run 'Parallel' ./internal/noc/ ./internal/core/
+
 # ci runs bench-alloc rather than bench-check: it is the same gate
 # against the same baseline, with -benchmem columns added for free.
-ci: build vet fmt-check test bench bench-alloc
+ci: build vet fmt-check test race-parallel bench bench-alloc bench-speedup

@@ -8,8 +8,10 @@ package gonoc
 
 import (
 	"context"
+	"math"
 	"runtime"
 	"testing"
+	"time"
 
 	"gonoc/internal/analysis"
 	"gonoc/internal/core"
@@ -312,11 +314,25 @@ func BenchmarkEngineMesh8x8(b *testing.B) {
 // the runner was slow.
 func BenchmarkPerfGate(b *testing.B) {
 	loads := []struct {
-		name string
-		frac float64
-	}{{"idle", 0}, {"low", 0.25}, {"knee", 0.9}, {"saturated", 1.5}}
+		name   string
+		frac   float64
+		shards int
+	}{
+		{"idle", 0, 0},
+		{"low", 0.25, 0},
+		{"knee", 0.9, 0},
+		{"saturated", 1.5, 0},
+		// The parallel point runs the knee workload domain-decomposed
+		// across 4 router shards. Its gated counters must equal the
+		// serial knee's (the shards visit exactly the same worklists);
+		// the wall-clock speedup over the serial engine is reported
+		// alongside but deliberately NOT gated — it depends on the
+		// host's core count, which the deterministic gate must not.
+		{"knee-parallel", 0.9, 4},
+	}
 	for _, load := range loads {
 		s := engineScenario(load.frac)
+		s.StepParallel = load.shards
 		if load.frac == 0 {
 			// The idle point gates the fast-forward itself: traffic so
 			// sparse the network fully drains between arrivals, so most
@@ -365,6 +381,42 @@ func BenchmarkPerfGate(b *testing.B) {
 			}
 			b.ReportMetric(float64(after.Mallocs-before.Mallocs)/pkts, "allocs/packet")
 			b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/pkts, "bytes/packet")
+
+			if load.shards > 0 {
+				// Report-only wall metric: the measured intra-scenario
+				// speedup of the parallel engine over the serial active
+				// engine on this host (best of three warmed runs each).
+				// On a single-core runner this sits at or below 1; on a
+				// machine with >= shards cores the target is >= 2x at 4
+				// shards. The gate ignores it — see bench-baseline.json.
+				// Off the benchmark clock: these seven extra runs must
+				// not inflate the bench's own ns/op.
+				b.StopTimer()
+				defer b.StartTimer()
+				serial := s
+				serial.StepParallel = 0
+				var wsSerial core.Workspace
+				if _, _, err := wsSerial.RunPerf(serial); err != nil {
+					b.Fatal(err)
+				}
+				best := func(ws *core.Workspace, sc core.Scenario) time.Duration {
+					bestDur := time.Duration(math.MaxInt64)
+					for i := 0; i < 3; i++ {
+						t0 := time.Now()
+						if _, _, err := ws.RunPerf(sc); err != nil {
+							b.Fatal(err)
+						}
+						if d := time.Since(t0); d < bestDur {
+							bestDur = d
+						}
+					}
+					return bestDur
+				}
+				serialDur := best(&wsSerial, serial)
+				parDur := best(&ws, s)
+				b.ReportMetric(float64(load.shards), "shards")
+				b.ReportMetric(serialDur.Seconds()/parDur.Seconds(), "speedup")
+			}
 		})
 	}
 }

@@ -39,6 +39,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		jsonOut = flag.Bool("json", false, "emit the result as JSON")
 		scnFile = flag.String("config", "", "JSON scenario file (overrides other flags)")
+		stepPar = flag.Int("step-parallel", 0, "router shards for the domain-decomposed Step engine (0 = serial; results are identical)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -64,6 +65,7 @@ func main() {
 			fatal(err)
 		}
 		for _, sc := range scenarios {
+			sc.StepParallel = *stepPar
 			r, err := core.Run(sc)
 			if err != nil {
 				fatal(err)
@@ -80,6 +82,7 @@ func main() {
 	}
 
 	s := core.NewScenario(core.TopologyKind(*topo), *n, core.TrafficKind(*tk), *lambda)
+	s.StepParallel = *stepPar
 	s.Cols, s.Rows = *cols, *rows
 	s.Warmup, s.Measure, s.Seed = *warmup, *cycles, *seed
 	s.Config.PacketLen = *pkt

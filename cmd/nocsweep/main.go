@@ -43,6 +43,7 @@ func main() {
 		rates    = flag.String("rates", "0.05,0.1,0.15,0.2,0.3,0.4,0.5", "per-source flits/cycle points")
 		reps     = flag.Int("reps", 1, "replications per point (independent seeds)")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		stepPar  = flag.Int("step-parallel", 0, "router shards per simulation (intra-scenario parallelism; divides the -parallel budget)")
 		out      = flag.String("out", "", "write per-run and summary records as JSONL to this file")
 		csv      = flag.Bool("csv", false, "CSV output")
 		lat      = flag.Bool("latency", false, "report latency instead of throughput")
@@ -122,10 +123,11 @@ func main() {
 	}
 
 	runner := exp.Runner{
-		Parallel: *parallel,
-		CITarget: *ciTarget,
-		MaxReps:  *maxReps,
-		Refine:   *refine,
+		Parallel:   *parallel,
+		StepShards: *stepPar,
+		CITarget:   *ciTarget,
+		MaxReps:    *maxReps,
+		Refine:     *refine,
 	}
 	if *shard != "" {
 		sh, err := parseShard(*shard)

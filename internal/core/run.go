@@ -97,6 +97,11 @@ type Workspace struct {
 	net    *noc.Network
 	col    *stats.Collector
 	kernel *sim.Kernel
+	// gen is the reusable traffic generator: its per-source rate, RNG
+	// and arrival-horizon slices are re-seeded in place per run
+	// (traffic.RenewGenerator), so replications do not pay one
+	// allocation per node for fresh streams.
+	gen *traffic.Generator
 }
 
 // Run executes the scenario on the workspace; see RunPerf.
@@ -142,16 +147,26 @@ func (w *Workspace) RunPerf(s Scenario) (Result, noc.PerfStats, error) {
 	w.key = ""
 	net, col, kernel := w.net, w.col, w.kernel
 	net.SetPooling(!s.NoPool)
-	gen, err := traffic.NewGenerator(kernel, net, pattern, s.Process, s.Lambda, s.Seed)
+	gen, err := traffic.RenewGenerator(w.gen, kernel, net, pattern, s.Process, s.Lambda, s.Seed)
 	if err != nil {
 		return Result{}, noc.PerfStats{}, err
 	}
+	w.gen = gen
 	gen.Start()
-	net.SetEngine(s.Engine)
+	if s.StepParallel > 0 {
+		net.SetShards(s.StepParallel)
+		net.SetEngine(noc.EngineParallel)
+	} else {
+		net.SetEngine(s.Engine)
+	}
+	// The parallel engine's shard workers park between cycles but hold
+	// the network; stop them when the run ends (error paths included) so
+	// a workspace dropped by its pool cannot leak the group.
+	defer net.StopWorkers()
 	ticker := sim.NewTicker(kernel, 1)
 	ticker.OnTick(func(uint64) { net.Step() })
 	total := sim.Time(s.Warmup + s.Measure)
-	if net.Engine() == noc.EngineActive {
+	if eng := net.Engine(); eng == noc.EngineActive || eng == noc.EngineParallel {
 		// Idle fast-forward: when the network is fully quiescent, the
 		// next flit movement can only follow the next generator event,
 		// so the cycles up to the tick that first observes it are

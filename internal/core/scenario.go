@@ -97,6 +97,16 @@ type Scenario struct {
 	// allocator traffic. It exists for those golden tests and as a
 	// debugging fallback.
 	NoPool bool `json:"-"`
+
+	// StepParallel, when positive, runs Network.Step domain-decomposed
+	// across that many router shards (noc.EngineParallel), overriding
+	// Engine. Like Engine it is excluded from the cache key and the
+	// serialized scenario: the parallel engine is bit-identical to the
+	// serial ones at every shard count (proven by the golden parallel
+	// matrix), so the knob changes wall-clock time, never results. Use
+	// it for lone long-running points — near and past saturation —
+	// where campaign-level parallelism has nothing left to parallelize.
+	StepParallel int `json:"-"`
 }
 
 // NewScenario returns a scenario with the paper's defaults: Poisson

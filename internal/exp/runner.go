@@ -3,6 +3,7 @@ package exp
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -58,8 +59,22 @@ func (s Shard) validate() error {
 // results, so all output streams stay byte-identical at any
 // parallelism.
 type Runner struct {
-	// Parallel bounds concurrent simulations; <= 0 selects GOMAXPROCS.
+	// Parallel bounds the runner's total worker budget; <= 0 selects
+	// GOMAXPROCS. With StepShards set, the budget is split between
+	// campaign-level workers and intra-scenario shards (see StepShards).
 	Parallel int
+	// StepShards, when > 1, runs every simulation's Network.Step
+	// domain-decomposed across that many router shards
+	// (Scenario.StepParallel) and divides the campaign-level worker
+	// count by the same factor, so the machine's parallelism budget is
+	// spent inside scenarios instead of across them. Results and all
+	// emitted byte streams are unchanged — the parallel engine is
+	// bit-identical and StepParallel is excluded from cache keys and
+	// serialization. Prefer campaign-level parallelism (many short
+	// points) and reserve StepShards for campaigns dominated by a few
+	// long saturation points, where a lone run should use the whole
+	// machine.
+	StepShards int
 	// Progress, when set, is called after each delivered outcome with
 	// the number of completed and total planned runs (the total grows
 	// when adaptive replication or refinement schedules more). It runs
@@ -227,6 +242,24 @@ func (r Runner) RunAll(ctx context.Context, cs []Campaign, sinks ...Sink) ([]Agg
 	return aggs, ctx.Err()
 }
 
+// workerBudget resolves the campaign-level worker count: the Parallel
+// budget (GOMAXPROCS when unset), divided — rounding up — by the
+// per-scenario shard width so campaign workers × step shards stays
+// within the configured budget.
+func (r Runner) workerBudget() int {
+	p := r.Parallel
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if r.StepShards > 1 {
+		p = (p + r.StepShards - 1) / r.StepShards
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
 // runBatch executes one slice of tasks on the pool, delivering
 // outcomes (and cache stores) in slice order.
 func (st *runState) runBatch(batch []task) error {
@@ -239,9 +272,15 @@ func (st *runState) runBatch(batch []task) error {
 			batch[i].key = batch[i].pt.Scenario.CacheKey()
 		}
 	}
-	return pool.Ordered(st.ctx, len(batch), r.Parallel,
+	return pool.Ordered(st.ctx, len(batch), r.workerBudget(),
 		func(_ context.Context, i int) error {
 			t := &batch[i]
+			if r.StepShards > 1 && t.pt.Scenario.StepParallel == 0 {
+				// Intra-scenario parallelism: invisible in cache keys,
+				// results and emitted records (StepParallel is
+				// result-neutral and never serialized).
+				t.pt.Scenario.StepParallel = r.StepShards
+			}
 			if r.Cache != nil {
 				if res, ok := r.Cache.Lookup(t.key); ok {
 					t.res, t.cached = res, true

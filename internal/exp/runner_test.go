@@ -558,3 +558,46 @@ func TestFileCacheCompact(t *testing.T) {
 		t.Fatalf("appended entry lost after compact+reopen: %v %v", r, ok)
 	}
 }
+
+// Intra-scenario parallelism must be invisible in the output: a runner
+// spending its budget on step shards emits the identical byte stream as
+// the plain campaign-parallel runner, at several shard widths.
+func TestStepShardsStreamIdentical(t *testing.T) {
+	c := testCampaign()
+	want := runJSONL(t, Runner{Parallel: 4}, c)
+	for _, shards := range []int{2, 3, 8} {
+		got := runJSONL(t, Runner{Parallel: 4, StepShards: shards}, c)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("StepShards=%d changed the emitted stream", shards)
+		}
+	}
+}
+
+// The worker budget splits between campaign-level workers and step
+// shards: ceil(Parallel / StepShards), never below one.
+func TestWorkerBudgetSplit(t *testing.T) {
+	cases := []struct {
+		parallel, shards, want int
+	}{
+		{8, 0, 8},  // no shards: full budget to the campaign
+		{8, 1, 8},  // single shard is serial
+		{8, 4, 2},  // even split
+		{8, 3, 3},  // rounding up keeps the budget covered
+		{2, 8, 1},  // shards beyond the budget: one campaign worker
+		{-1, 0, 0}, // GOMAXPROCS default, checked separately
+	}
+	for _, tc := range cases {
+		r := Runner{Parallel: tc.parallel, StepShards: tc.shards}
+		got := r.workerBudget()
+		if tc.parallel <= 0 {
+			if got < 1 {
+				t.Fatalf("default budget %d < 1", got)
+			}
+			continue
+		}
+		if got != tc.want {
+			t.Fatalf("workerBudget(Parallel=%d, StepShards=%d) = %d, want %d",
+				tc.parallel, tc.shards, got, tc.want)
+		}
+	}
+}

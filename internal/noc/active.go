@@ -36,6 +36,11 @@ const (
 	// routers. It is retained as the golden oracle for equivalence
 	// tests and as a debugging fallback.
 	EngineSweep
+	// EngineParallel is the domain-decomposed engine (parallel.go): the
+	// routers are split into contiguous shards and each pipeline phase
+	// runs shard-parallel between deterministic barriers, producing
+	// results bit-identical to EngineActive at every shard count.
+	EngineParallel
 )
 
 // String returns the engine's conventional name.
@@ -45,6 +50,8 @@ func (e Engine) String() string {
 		return "active"
 	case EngineSweep:
 		return "sweep"
+	case EngineParallel:
+		return "parallel"
 	default:
 		return fmt.Sprintf("engine(%d)", int(e))
 	}
@@ -89,30 +96,66 @@ func (s *activeSet) forEach(fn func(i int)) {
 	}
 }
 
-// --- worklist maintenance, called wherever the active engine moves a
-// flit. The sweep engine bypasses these (it pops/pushes the buffers
-// directly); SetEngine(EngineActive) rebuilds all masks and sets.
+// worklists is one complete set of phase worklists: the ejection,
+// switch, link and injection active sets. The active engine keeps a
+// single network-wide set (Network.wl); the parallel engine keeps one
+// per shard, each covering only the shard's contiguous router range, so
+// two shards never write the same bitmap word concurrently.
+type worklists struct {
+	ej  activeSet // routers with a locally-destined input head
+	sw  activeSet // routers with a transit input head
+	out activeSet // routers with non-empty output queues
+	ni  activeSet // sources with pending packets
+}
+
+func newWorklists(n int) worklists {
+	return worklists{ej: newActiveSet(n), sw: newActiveSet(n), out: newActiveSet(n), ni: newActiveSet(n)}
+}
+
+func (w *worklists) clear() {
+	w.ej.clear()
+	w.sw.clear()
+	w.out.clear()
+	w.ni.clear()
+}
+
+// markSource enrolls src in the injection worklist that owns it: the
+// shard's under the parallel engine, the network-wide one otherwise
+// (the sweep engine ignores the sets, so the stray add is harmless and
+// keeps InjectPacket branch-free on the engine).
+func (n *Network) markSource(src int) {
+	if n.engine == EngineParallel {
+		n.shards[n.shardOf[src]].wl.ni.add(src)
+		return
+	}
+	n.wl.ni.add(src)
+}
+
+// --- worklist maintenance, called wherever the active and parallel
+// engines move a flit, against the worklists that own the touched
+// router (wl). The sweep engine bypasses these (it pops/pushes the
+// buffers directly); SetEngine rebuilds all masks and sets.
 
 // refreshInSets recomputes node's membership in the ejection and
 // switch worklists from its input-slot masks: the ejection stage wants
 // routers with a locally-destined head anywhere, the switch stage
 // routers with a transit head (non-empty slot whose head travels on).
-func (n *Network) refreshInSets(node int, r *router) {
+func (n *Network) refreshInSets(wl *worklists, node int, r *router) {
 	if r.ejOcc != 0 {
-		n.ejSet.add(node)
+		wl.ej.add(node)
 	} else {
-		n.ejSet.remove(node)
+		wl.ej.remove(node)
 	}
 	if r.inOcc&^r.ejOcc != 0 {
-		n.swSet.add(node)
+		wl.sw.add(node)
 	} else {
-		n.swSet.remove(node)
+		wl.sw.remove(node)
 	}
 }
 
 // inPop removes the head of p's vc slot, re-deriving the slot's
 // occupancy and head-locality bits from the newly exposed head.
-func (n *Network) inPop(node int, r *router, p *inPort, vc int) *Flit {
+func (n *Network) inPop(wl *worklists, node int, r *router, p *inPort, vc int) *Flit {
 	f := p.pop(vc)
 	bit := uint64(1) << uint(p.slotBase+vc)
 	switch {
@@ -124,12 +167,12 @@ func (n *Network) inPop(node int, r *router, p *inPort, vc int) *Flit {
 	default:
 		r.ejOcc &^= bit
 	}
-	n.refreshInSets(node, r)
+	n.refreshInSets(wl, node, r)
 	return f
 }
 
 // inPush appends f to p's vc slot of the downstream router.
-func (n *Network) inPush(node int, r *router, p *inPort, vc int, f *Flit) {
+func (n *Network) inPush(wl *worklists, node int, r *router, p *inPort, vc int, f *Flit) {
 	wasEmpty := p.bufs[vc].len() == 0
 	p.push(vc, f)
 	bit := uint64(1) << uint(p.slotBase+vc)
@@ -137,26 +180,26 @@ func (n *Network) inPush(node int, r *router, p *inPort, vc int, f *Flit) {
 	if wasEmpty && f.Pkt.Dst == r.node {
 		r.ejOcc |= bit
 	}
-	n.refreshInSets(node, r)
+	n.refreshInSets(wl, node, r)
 }
 
 // outPush appends f to the output queue (op, vc) of node's router.
-func (n *Network) outPush(node int, r *router, op *outPort, vc int, f *Flit) {
+func (n *Network) outPush(wl *worklists, node int, r *router, op *outPort, vc int, f *Flit) {
 	op.vcs[vc].push(f)
 	r.outOcc |= 1 << uint(op.slotBase+vc)
-	n.outSet.add(node)
+	wl.out.add(node)
 }
 
 // outPop removes the head of the output queue (op, vc), retiring the
 // slot — and, when the router's last output drains, the router — from
 // the link worklist.
-func (n *Network) outPop(node int, r *router, op *outPort, vc int) *Flit {
+func (n *Network) outPop(wl *worklists, node int, r *router, op *outPort, vc int) *Flit {
 	v := op.vcs[vc]
 	f := v.pop()
 	if v.empty() {
 		r.outOcc &^= 1 << uint(op.slotBase+vc)
 		if r.outOcc == 0 {
-			n.outSet.remove(node)
+			wl.out.remove(node)
 		}
 	}
 	return f
@@ -193,7 +236,7 @@ func (n *Network) stepActive() {
 // every router, so during cycle c it equals c mod slots.
 func (n *Network) activeEject() {
 	vcs := n.alg.VCs()
-	n.ejSet.forEach(func(node int) {
+	n.wl.ej.forEach(func(node int) {
 		r := n.routers[node]
 		n.visits++
 		budget := n.cfg.SinkRate
@@ -214,7 +257,7 @@ func (n *Network) activeEject() {
 			p := r.in[s/vcs]
 			vc := s % vcs
 			for budget > 0 && !p.empty(vc) && p.head(vc).Pkt.Dst == r.node {
-				f := n.inPop(node, r, p, vc)
+				f := n.inPop(&n.wl, node, r, p, vc)
 				budget--
 				n.moved = true
 				f.Pkt.recv++
@@ -238,7 +281,7 @@ func (n *Network) activeEject() {
 // mask split at the rrIn slot boundary — high part first.
 func (n *Network) activeSwitch() {
 	vcs := n.alg.VCs()
-	n.swSet.forEach(func(node int) {
+	n.wl.sw.forEach(func(node int) {
 		r := n.routers[node]
 		n.visits++
 		rrIn := int(n.modTab[len(r.in)])
@@ -290,10 +333,10 @@ func (n *Network) switchPort(r *router, p *inPort, occ uint64, vcs int) {
 		if ovc.owner != f.Pkt || ovc.full(n.cfg.OutBufCap) {
 			continue // space denied; retry next cycle
 		}
-		n.inPop(r.node, r, p, inVC)
+		n.inPop(&n.wl, r.node, r, p, inVC)
 		f.VC = entry.vc
 		f.lastMove = n.cycle + 1
-		n.outPush(r.node, r, entry.port, entry.vc, f)
+		n.outPush(&n.wl, r.node, r, entry.port, entry.vc, f)
 		n.moved = true
 		if f.IsTail() {
 			ovc.owner = nil
@@ -307,7 +350,7 @@ func (n *Network) switchPort(r *router, p *inPort, occ uint64, vcs int) {
 // activeInject mirrors injectPhase over sources with pending packets,
 // retiring a source once its IP memory and in-progress worm drain.
 func (n *Network) activeInject() {
-	n.niSet.forEach(func(node int) {
+	n.wl.ni.forEach(func(node int) {
 		q := n.nis[node]
 		r := n.routers[node]
 		n.visits++
@@ -347,7 +390,7 @@ func (n *Network) activeInject() {
 			f := &pkt.flits[q.nextSeq]
 			f.VC = q.route.vc
 			f.lastMove = n.cycle + 1
-			n.outPush(node, r, q.route.port, q.route.vc, f)
+			n.outPush(&n.wl, node, r, q.route.port, q.route.vc, f)
 			n.moved = true
 			q.nextSeq++
 			budget--
@@ -363,7 +406,7 @@ func (n *Network) activeInject() {
 			}
 		}
 		if q.sending == nil && q.queue.len() == 0 {
-			n.niSet.remove(node)
+			n.wl.ni.remove(node)
 		}
 	})
 }
@@ -375,7 +418,7 @@ func (n *Network) activeInject() {
 func (n *Network) activeLink() {
 	vcs := n.alg.VCs()
 	rrVC := int(n.modTab[vcs]) // every port has alg.VCs() queues
-	n.outSet.forEach(func(node int) {
+	n.wl.out.forEach(func(node int) {
 		r := n.routers[node]
 		n.visits++
 		m := r.outOcc
@@ -412,13 +455,13 @@ func (n *Network) linkPort(node int, r *router, op *outPort, occ uint64, vcs, rr
 		if ip.full(vi, n.cfg.InBufCap) {
 			continue
 		}
-		n.outPop(node, r, op, vi)
+		n.outPop(&n.wl, node, r, op, vi)
 		f.lastMove = n.cycle + 1
 		if f.IsHead() {
 			f.Pkt.Hops++
 		}
 		n.linkFlits[op.ch.ID]++
-		n.inPush(op.ch.Dst, op.peerRouter, ip, vi, f)
+		n.inPush(&n.wl, op.ch.Dst, op.peerRouter, ip, vi, f)
 		n.moved = true
 		return // one flit per physical link per cycle
 	}
@@ -428,17 +471,31 @@ func (n *Network) linkPort(node int, r *router, op *outPort, occ uint64, vcs, rr
 // at any point: the worklists are rebuilt from the buffers, so a
 // network mid-simulation carries its state over exactly. On the rare
 // network whose per-router slot count exceeds one mask word the
-// request for EngineActive is ignored and the sweep fallback stays in
-// force (check Engine); results are identical either way.
+// request for EngineActive or EngineParallel is ignored and the sweep
+// fallback stays in force (check Engine); results are identical either
+// way. Leaving EngineParallel stops its worker goroutines.
 func (n *Network) SetEngine(e Engine) {
-	if e != EngineActive && e != EngineSweep {
-		panic(fmt.Sprintf("noc: unknown engine %d", int(e)))
-	}
-	if e == EngineActive {
+	switch e {
+	case EngineActive:
 		if !n.maskable {
 			return
 		}
+		n.StopWorkers()
 		n.rebuildActiveSets()
+	case EngineParallel:
+		if !n.maskable {
+			return
+		}
+		n.StopWorkers()
+		if n.shardCount == 0 {
+			n.shardCount = defaultShards(n.topo.Nodes())
+		}
+		n.buildShards()
+		n.rebuildParallelSets()
+	case EngineSweep:
+		n.StopWorkers()
+	default:
+		panic(fmt.Sprintf("noc: unknown engine %d", int(e)))
 	}
 	n.engine = e
 }
@@ -446,16 +503,14 @@ func (n *Network) SetEngine(e Engine) {
 // Engine returns the engine currently driving Step.
 func (n *Network) Engine() Engine { return n.engine }
 
-// rebuildActiveSets recomputes the slot masks and worklists from the
-// ground truth in the buffers. The sweep engine does not maintain
-// them, so a switch back to the active engine starts here.
-func (n *Network) rebuildActiveSets() {
+// rebuildWorklists recomputes the slot masks from the ground truth in
+// the buffers and re-enrolls every node in the worklists chosen by
+// wlFor — the network-wide set for the active engine, the owning
+// shard's for the parallel engine.
+func (n *Network) rebuildWorklists(wlFor func(node int) *worklists) {
 	n.rebuildModTab()
-	n.ejSet.clear()
-	n.swSet.clear()
-	n.outSet.clear()
-	n.niSet.clear()
 	for node, r := range n.routers {
+		wl := wlFor(node)
 		r.inOcc, r.ejOcc, r.outOcc = 0, 0, 0
 		for _, p := range r.in {
 			for vc := range p.bufs {
@@ -476,27 +531,47 @@ func (n *Network) rebuildActiveSets() {
 				}
 			}
 		}
-		n.refreshInSets(node, r)
+		n.refreshInSets(wl, node, r)
 		if r.outOcc != 0 {
-			n.outSet.add(node)
+			wl.out.add(node)
 		}
 		s := n.nis[node]
 		if s.sending != nil || s.queue.len() > 0 {
-			n.niSet.add(node)
+			wl.ni.add(node)
 		}
 	}
 }
 
+// rebuildActiveSets recomputes the masks and the network-wide worklists
+// from the buffers. The sweep engine does not maintain them, so a
+// switch back to the active engine starts here.
+func (n *Network) rebuildActiveSets() {
+	n.wl.clear()
+	n.rebuildWorklists(func(int) *worklists { return &n.wl })
+}
+
 // checkActiveInvariants verifies that no buffered flit or pending
 // packet has fallen off its worklist (which would strand it forever)
-// and that the incremental slot masks match the buffers. It
-// participates in CheckConservation, so every conservation-checked run
-// also proves the worklist bookkeeping.
+// and that the incremental slot masks match the buffers. Under the
+// parallel engine the worklist that must hold each node is the owning
+// shard's, and the cross-shard bookkeeping is additionally proven by
+// checkParallelInvariants. It participates in CheckConservation, so
+// every conservation-checked run also proves the worklist bookkeeping.
 func (n *Network) checkActiveInvariants() error {
-	if n.engine != EngineActive {
+	if n.engine != EngineActive && n.engine != EngineParallel {
 		return nil
 	}
+	if n.engine == EngineParallel {
+		if err := n.checkParallelInvariants(); err != nil {
+			return err
+		}
+	}
+	wlFor := func(int) *worklists { return &n.wl }
+	if n.engine == EngineParallel {
+		wlFor = func(node int) *worklists { return &n.shards[n.shardOf[node]].wl }
+	}
 	for node, r := range n.routers {
+		wl := wlFor(node)
 		var inOcc, ejOcc, outOcc uint64
 		for _, p := range r.in {
 			for vc := range p.bufs {
@@ -521,17 +596,17 @@ func (n *Network) checkActiveInvariants() error {
 			return fmt.Errorf("noc: node %d slot masks (in %b, ej %b, out %b) disagree with buffers (in %b, ej %b, out %b)",
 				node, r.inOcc, r.ejOcc, r.outOcc, inOcc, ejOcc, outOcc)
 		}
-		if ejOcc != 0 && !n.ejSet.has(node) {
+		if ejOcc != 0 && !wl.ej.has(node) {
 			return fmt.Errorf("noc: node %d holds ejectable flits but is off the ejection worklist", node)
 		}
-		if inOcc&^ejOcc != 0 && !n.swSet.has(node) {
+		if inOcc&^ejOcc != 0 && !wl.sw.has(node) {
 			return fmt.Errorf("noc: node %d holds transit flits but is off the switch worklist", node)
 		}
-		if outOcc != 0 && !n.outSet.has(node) {
+		if outOcc != 0 && !wl.out.has(node) {
 			return fmt.Errorf("noc: node %d holds output flits but is off the link worklist", node)
 		}
 		s := n.nis[node]
-		if (s.sending != nil || s.queue.len() > 0) && !n.niSet.has(node) {
+		if (s.sending != nil || s.queue.len() > 0) && !wl.ni.has(node) {
 			return fmt.Errorf("noc: source %d has pending packets but is off the injection worklist", node)
 		}
 	}

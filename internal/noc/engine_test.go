@@ -145,9 +145,15 @@ func TestEnginesAgreeRandomized(t *testing.T) {
 // twin that stepped through it — round-robin pointers included (the
 // injections after the gap land differently if any pointer drifts).
 func TestSkipToMatchesIdleStepping(t *testing.T) {
-	for _, eng := range []Engine{EngineActive, EngineSweep} {
+	for _, eng := range []Engine{EngineActive, EngineSweep, EngineParallel} {
 		s := topology.MustSpidergon(16)
 		skip, step := enginePair(t, s, routing.NewSpidergonRouting(s), DefaultConfig())
+		if eng == EngineParallel {
+			skip.SetShards(3)
+			step.SetShards(3)
+			defer skip.StopWorkers()
+			defer step.StopWorkers()
+		}
 		skip.SetEngine(eng)
 		step.SetEngine(eng)
 		load := func(n *Network) {
@@ -194,9 +200,9 @@ func TestCheckActiveInvariantsCatchesStranding(t *testing.T) {
 		t.Fatal("expected in-flight flits")
 	}
 	// Knock every router off the worklists behind the engine's back.
-	net.ejSet.clear()
-	net.swSet.clear()
-	net.outSet.clear()
+	net.wl.ej.clear()
+	net.wl.sw.clear()
+	net.wl.out.clear()
 	if err := net.CheckConservation(); err == nil {
 		t.Fatal("conservation check missed a stranded flit")
 	}

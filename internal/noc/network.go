@@ -30,17 +30,24 @@ type Network struct {
 	lastActivity uint64
 	moved        bool // any flit progress in the current cycle
 
-	// engine selects the Step implementation (see active.go); the
-	// activity-driven worklists below belong to EngineActive. The
-	// per-slot occupancy masks live on each router.
+	// engine selects the Step implementation (see active.go and
+	// parallel.go); the activity-driven worklists belong to
+	// EngineActive (the parallel engine keeps one worklists set per
+	// shard instead). The per-slot occupancy masks live on each router.
 	engine   Engine
 	maskable bool      // every router's slots fit a 64-bit mask
-	ejSet    activeSet // routers with a locally-destined input head
-	swSet    activeSet // routers with a transit input head
-	outSet   activeSet // routers with non-empty output queues
-	niSet    activeSet // sources with pending packets
+	wl       worklists // EngineActive's global phase worklists
 	visits   uint64    // per-phase router/source worklist visits
 	skipped  uint64    // cycles fast-forwarded by SkipTo
+
+	// Domain decomposition state of EngineParallel (parallel.go):
+	// shards own contiguous router ranges (shardOf is the inverse
+	// table), pr is the running worker group, shardCount the configured
+	// width.
+	shards     []parShard
+	shardOf    []int32
+	shardCount int
+	pr         *parRun
 	// modTab[d] == cycle % d for every registered round-robin divisor
 	// d (modDivs), maintained by increment instead of division.
 	modDivs []int
@@ -59,6 +66,12 @@ type Network struct {
 
 	// linkFlits counts flit traversals per channel ID.
 	linkFlits []uint64
+	// consSeen and poolSeen are the reusable scratch maps of
+	// CheckConservation: campaign replications re-verify one network per
+	// run, so the maps live here (cleared per check) instead of being
+	// reallocated every call.
+	consSeen map[uint64]bool
+	poolSeen map[*Packet]bool
 	// onEject, when set, runs for every fully consumed packet.
 	onEject func(p *Packet)
 	// adaptive is non-nil when the algorithm supports congestion-aware
@@ -107,10 +120,7 @@ func NewNetwork(t topology.Topology, a routing.Algorithm, cfg Config, col *stats
 		nis[v].node = v
 		n.nis = append(n.nis, &nis[v])
 	}
-	n.ejSet = newActiveSet(t.Nodes())
-	n.swSet = newActiveSet(t.Nodes())
-	n.outSet = newActiveSet(t.Nodes())
-	n.niSet = newActiveSet(t.Nodes())
+	n.wl = newWorklists(t.Nodes())
 	if !n.maskable {
 		// Degree × VC counts beyond one mask word (no paper topology
 		// comes close) fall back to the reference engine.
@@ -184,7 +194,7 @@ func (n *Network) InjectPacket(src, dst int) (*Packet, error) {
 	n.nextPktID++
 	n.created++
 	q.queue.push(p)
-	n.niSet.add(src)
+	n.markSource(src)
 	return p, nil
 }
 
@@ -306,14 +316,18 @@ func (n *Network) canDepart(q *outVC) bool {
 // move a flit at most one stage, and a per-flit cycle stamp prevents a
 // flit from advancing through two stages in one cycle. The default
 // engine visits only active routers and sources (active.go); the
-// sweep engine below scans everything and serves as the golden
-// reference the active engine is tested against.
+// parallel engine (parallel.go) executes the same phases shard-parallel
+// with deterministic barriers; the sweep engine below scans everything
+// and serves as the golden reference both are tested against.
 func (n *Network) Step() {
-	if n.engine == EngineSweep {
+	switch n.engine {
+	case EngineSweep:
 		n.stepSweep()
-		return
+	case EngineParallel:
+		n.stepParallel()
+	default:
+		n.stepActive()
 	}
-	n.stepActive()
 }
 
 // stepSweep is the reference per-cycle sweep over all routers.
@@ -606,8 +620,15 @@ func (n *Network) CheckConservation() error {
 		}
 	}
 	// Count distinct packets with flits in buffers that are fully
-	// injected but not ejected. Walk buffers and collect.
-	seen := make(map[uint64]bool)
+	// injected but not ejected. Walk buffers and collect into the
+	// network-owned scratch map (conservation runs once per replication;
+	// reusing the map keeps the check allocation-free on a warm
+	// workspace).
+	if n.consSeen == nil {
+		n.consSeen = make(map[uint64]bool)
+	}
+	clear(n.consSeen)
+	seen := n.consSeen
 	note := func(f *Flit) error {
 		if f.Pkt.free {
 			return fmt.Errorf("noc: pooled packet %v still buffered (double free)", f.Pkt)
@@ -678,7 +699,11 @@ func (n *Network) checkPool() error {
 	if n.recycled != n.ejected {
 		return fmt.Errorf("noc: pool leak: %d packets ejected but %d recycled", n.ejected, n.recycled)
 	}
-	distinct := make(map[*Packet]bool, len(n.pool))
+	if n.poolSeen == nil {
+		n.poolSeen = make(map[*Packet]bool, len(n.pool))
+	}
+	clear(n.poolSeen)
+	distinct := n.poolSeen
 	for _, p := range n.pool {
 		switch {
 		case p == nil:
@@ -748,10 +773,8 @@ func (n *Network) Reset() {
 	n.lastActivity, n.moved = 0, false
 	n.visits, n.skipped = 0, 0
 	n.onEject = nil
-	n.ejSet.clear()
-	n.swSet.clear()
-	n.outSet.clear()
-	n.niSet.clear()
+	n.wl.clear()
+	n.resetShards()
 	n.rebuildModTab()
 }
 

@@ -1,0 +1,711 @@
+package noc
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+)
+
+// This file is the domain-decomposed parallel engine behind
+// Network.Step: EngineParallel splits the routers into a fixed set of
+// contiguous shards and executes each pipeline phase shard-parallel
+// with a barrier between phases, producing results bit-identical to
+// EngineActive (and hence EngineSweep) at every shard count.
+//
+// The decomposition exploits the phase structure of the cycle: the
+// ejection, switch-traversal and injection phases only ever touch the
+// state of one router/NI (input slots, own output queues, own source
+// queue), so shards can run them concurrently with no coordination at
+// all; only the link phase crosses routers (upstream output queue →
+// downstream input slot). Determinism follows the same discipline the
+// activity-driven engine established for arbitration:
+//
+//   - Shard assignment is a pure function of router index and shard
+//     count — contiguous ranges [s·N/K, (s+1)·N/K) — never of goroutine
+//     scheduling. Concatenating the shards in index order reproduces
+//     the serial engines' ascending-node iteration order exactly.
+//   - Each shard drains its own bitmap worklists (a private worklists
+//     value, so no two shards share a bitmap word) in ascending node
+//     order, with the same cycle-derived round-robin pointers.
+//   - Cross-shard effects are buffered per shard and applied in
+//     canonical router-index order at a barrier: link traversals into
+//     another shard's router defer the input-slot push and its mask
+//     bookkeeping; ejection completions (statistics, the OnEject
+//     callback — which may inject new packets into any shard — and the
+//     pool recycle) defer to the barrier after the ejection phase;
+//     injection statistics defer to the end of the cycle. Within each
+//     buffer, records are appended in ascending node order, so the
+//     shard-order replay is exactly the serial engine's order.
+//
+// The packet/flit freelist needs no sharding: every pool operation —
+// the lease inside InjectPacket (generator events run between cycles;
+// OnEject replies run in the ejection replay) and the recycle at tail
+// ejection (also in the replay) — already happens in the serial
+// sections at the barriers, so the steady state stays allocation-free
+// and CheckConservation's pool accounting holds verbatim. The deferred
+// record buffers keep their backing arrays across cycles and runs, so
+// the parallel engine adds no steady-state allocations of its own.
+//
+// Execution uses one worker goroutine per shard beyond the first (the
+// caller's goroutine runs shard 0). Workers park on a channel between
+// cycles — an idle or reset network burns no CPU — and synchronize
+// through two atomics within a cycle: seq releases the next span,
+// pending counts shards still in the current one. Both are
+// acquire/release pairs, so all cross-shard memory movement is ordered
+// (and the engine is clean under the race detector). The spin loops
+// yield to the scheduler after a short budget, which keeps the engine
+// live (if slow) even at GOMAXPROCS=1.
+
+// parShard is one domain of the decomposition: a contiguous router
+// range, its private phase worklists, per-cycle scratch counters, and
+// the deferred-effect buffers replayed at the barriers.
+type parShard struct {
+	idx    int // shard index (== position in Network.shards)
+	lo, hi int // owned router range [lo, hi)
+	wl     worklists
+
+	visits uint64 // worklist visits this cycle, merged at cycle end
+	moved  bool   // any flit progress this cycle, merged at cycle end
+
+	// ej holds this cycle's fully ejected packets in pop order; the
+	// barrier after the ejection phase replays them (statistics,
+	// OnEject, pool recycle) in shard order == ascending node order.
+	ej []*Packet
+	// stats holds this cycle's injection-phase collector events in
+	// visit order, replayed at cycle end.
+	stats []statRecord
+	// xpush holds this cycle's link traversals into other shards'
+	// routers, applied at cycle end in shard order.
+	xpush []pushRecord
+
+	// pad keeps neighbouring shards' hot scratch fields off one cache
+	// line (the structs live in one slice).
+	_ [64]byte
+}
+
+// statRecord is one deferred injection-phase collector event: a packet
+// acceptance (injected, with its flit count) or a source-blocked cycle.
+type statRecord struct {
+	injected bool
+	flits    int
+}
+
+// pushRecord is one deferred cross-shard link traversal: flit f arrives
+// in input port p, virtual channel vc, of router node.
+type pushRecord struct {
+	node int
+	p    *inPort
+	vc   int
+	f    *Flit
+}
+
+// parRun is the worker group of a running parallel network: one parked
+// goroutine per shard beyond shard 0, released once per cycle through
+// its start channel and paced through the cycle's spans by seq/pending.
+type parRun struct {
+	start   []chan struct{} // one per worker (shards[1:]), buffered 1
+	seq     atomic.Uint64   // span sequence; incremented to release a span
+	pending atomic.Int64    // shards still inside the current span
+	spin    int             // busy-spin budget before yielding
+}
+
+// defaultShards picks the shard count when none was configured: the
+// machine's parallelism, bounded by the network size. Results are
+// bit-identical at every count, so the default only affects speed.
+func defaultShards(nodes int) int {
+	k := runtime.GOMAXPROCS(0)
+	if k > nodes {
+		k = nodes
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// SetShards configures the domain width of EngineParallel: k contiguous
+// router shards (clamped to [1, nodes]). Calling it while the parallel
+// engine is active rebuilds the decomposition in place — mid-run is
+// fine, results do not depend on the shard count; otherwise the value
+// is stored for the next SetEngine(EngineParallel).
+func (n *Network) SetShards(k int) {
+	nodes := n.topo.Nodes()
+	if k < 1 {
+		k = 1
+	}
+	if k > nodes {
+		k = nodes
+	}
+	if k == n.shardCount {
+		return
+	}
+	n.shardCount = k
+	if n.engine == EngineParallel {
+		n.StopWorkers()
+		n.buildShards()
+		n.rebuildParallelSets()
+	}
+}
+
+// Shards returns the configured shard count (0 when never configured).
+func (n *Network) Shards() int { return n.shardCount }
+
+// buildShards (re)allocates the shard array for the configured count,
+// with ranges [s·N/K, (s+1)·N/K) and the inverse lookup table. An
+// already-built decomposition of the same width is kept — its worklist
+// bitmaps and deferred-buffer capacity stay warm across workspace
+// reuse (the caller re-derives the worklist contents either way).
+func (n *Network) buildShards() {
+	nodes := n.topo.Nodes()
+	k := n.shardCount
+	if len(n.shards) == k && len(n.shardOf) == nodes {
+		return
+	}
+	n.shards = make([]parShard, k)
+	if cap(n.shardOf) < nodes {
+		n.shardOf = make([]int32, nodes)
+	}
+	n.shardOf = n.shardOf[:nodes]
+	for s := 0; s < k; s++ {
+		sh := &n.shards[s]
+		sh.idx = s
+		sh.lo, sh.hi = s*nodes/k, (s+1)*nodes/k
+		sh.wl = newWorklists(nodes)
+		for v := sh.lo; v < sh.hi; v++ {
+			n.shardOf[v] = int32(s)
+		}
+	}
+}
+
+// rebuildParallelSets recomputes the slot masks and distributes every
+// node's worklist membership to its owning shard — the parallel
+// counterpart of rebuildActiveSets, run on engine entry and whenever
+// the decomposition changes.
+func (n *Network) rebuildParallelSets() {
+	for i := range n.shards {
+		n.shards[i].wl.clear()
+	}
+	n.rebuildWorklists(func(node int) *worklists { return &n.shards[n.shardOf[node]].wl })
+}
+
+// resetShards clears the per-shard worklists and scratch during
+// Network.Reset, keeping the shard geometry and the deferred buffers'
+// backing arrays, and parks the worker group (a reset network may next
+// run under a different engine, or not at all).
+func (n *Network) resetShards() {
+	n.StopWorkers()
+	for i := range n.shards {
+		s := &n.shards[i]
+		s.wl.clear()
+		s.visits, s.moved = 0, false
+		s.clearScratch()
+	}
+}
+
+// clearScratch empties the deferred buffers, dropping their references
+// but keeping capacity.
+func (s *parShard) clearScratch() {
+	for j := range s.ej {
+		s.ej[j] = nil
+	}
+	s.ej = s.ej[:0]
+	s.stats = s.stats[:0]
+	for j := range s.xpush {
+		s.xpush[j] = pushRecord{}
+	}
+	s.xpush = s.xpush[:0]
+}
+
+// startWorkers launches the worker group: one goroutine per shard
+// beyond shard 0. Workers are lazy — the first parallel Step starts
+// them — and park between cycles, so they cost nothing while the
+// network idles between runs.
+func (n *Network) startWorkers() {
+	k := len(n.shards)
+	pr := &parRun{start: make([]chan struct{}, k-1)}
+	if runtime.GOMAXPROCS(0) > 1 {
+		// With real parallelism a span ends within microseconds; spin
+		// briefly before yielding. On a single P spinning only delays
+		// the goroutine that would end the wait.
+		pr.spin = 4096
+	}
+	for i := range pr.start {
+		pr.start[i] = make(chan struct{}, 1)
+	}
+	for i := 1; i < k; i++ {
+		go n.shardWorker(i, pr)
+	}
+	n.pr = pr
+}
+
+// StopWorkers terminates the parallel engine's worker goroutines (a
+// no-op when none are running). It is called automatically by Reset,
+// SetShards and any engine switch; call it directly when discarding a
+// network that stepped under EngineParallel, so no parked goroutine
+// pins the network in memory. The network remains fully usable — the
+// next parallel Step restarts the group.
+func (n *Network) StopWorkers() {
+	if n.pr == nil {
+		return
+	}
+	for _, c := range n.pr.start {
+		close(c)
+	}
+	n.pr = nil
+}
+
+// shardWorker is the per-shard goroutine: released once per cycle, it
+// runs the three spans of its shard, announcing each completion on
+// pending and waiting on seq for the next span's release.
+func (n *Network) shardWorker(i int, pr *parRun) {
+	s := &n.shards[i]
+	for range pr.start[i-1] {
+		seq := pr.seq.Load()
+		n.parEject(s)
+		pr.pending.Add(-1)
+		seq = pr.waitSeq(seq)
+		n.parSwitchInject(s)
+		pr.pending.Add(-1)
+		pr.waitSeq(seq)
+		n.parLink(s)
+		pr.pending.Add(-1)
+	}
+}
+
+// waitSeq spins until the span sequence moves past last, yielding to
+// the scheduler once the spin budget is spent.
+func (pr *parRun) waitSeq(last uint64) uint64 {
+	for i := 0; ; i++ {
+		if v := pr.seq.Load(); v != last {
+			return v
+		}
+		if i >= pr.spin {
+			runtime.Gosched()
+		}
+	}
+}
+
+// awaitShards blocks until every shard finished the current span.
+func (n *Network) awaitShards() {
+	pr := n.pr
+	for i := 0; pr.pending.Load() != 0; i++ {
+		if i >= pr.spin {
+			runtime.Gosched()
+		}
+	}
+}
+
+// releaseSpan opens the next span for the workers: pending is re-armed
+// first, then the seq bump publishes it (workers load seq with acquire
+// semantics, so they observe the reset counter and every serial-section
+// write that preceded the bump).
+func (n *Network) releaseSpan() {
+	pr := n.pr
+	pr.pending.Store(int64(len(n.shards) - 1))
+	pr.seq.Add(1)
+}
+
+// stepParallel advances one cycle under the domain decomposition:
+//
+//	span A   (parallel) ejection phase, completions deferred
+//	barrier  (serial)   ejection replay: stats → OnEject → recycle
+//	span B   (parallel) switch traversal + injection, stats deferred
+//	barrier
+//	span C   (parallel) link traversal, cross-shard arrivals deferred
+//	barrier  (serial)   cross-shard applies, stats replay, cycle close
+//
+// The spans need no finer interleaving control: phases A and B touch
+// only shard-local state, and C's only cross-shard reads (downstream
+// input-slot occupancy) are stable for the whole span because each
+// input port has exactly one upstream writer and all pops happened in
+// earlier phases.
+func (n *Network) stepParallel() {
+	n.moved = false
+	if len(n.shards) == 1 {
+		// Degenerate single-shard decomposition: same machinery minus
+		// the workers — still exercises the deferred-replay paths.
+		s := &n.shards[0]
+		n.parEject(s)
+		n.replayEjections()
+		n.parSwitchInject(s)
+		n.parLink(s)
+		n.finishParallelCycle()
+		return
+	}
+	if n.pr == nil {
+		n.startWorkers()
+	}
+	pr := n.pr
+	n.releaseSpan()
+	for _, c := range pr.start {
+		c <- struct{}{}
+	}
+	n.parEject(&n.shards[0])
+	n.awaitShards()
+	n.replayEjections()
+	n.releaseSpan()
+	n.parSwitchInject(&n.shards[0])
+	n.awaitShards()
+	n.releaseSpan()
+	n.parLink(&n.shards[0])
+	n.awaitShards()
+	n.finishParallelCycle()
+}
+
+// parEject mirrors activeEject over one shard's ejection worklist,
+// deferring every tail-ejection completion: the pops, mask updates and
+// per-packet receive accounting are shard-local, while statistics, the
+// OnEject callback and the pool recycle run in the serial replay.
+func (n *Network) parEject(s *parShard) {
+	vcs := n.alg.VCs()
+	s.wl.ej.forEach(func(node int) {
+		r := n.routers[node]
+		s.visits++
+		budget := n.cfg.SinkRate
+		np := len(r.in)
+		if np == 0 {
+			return
+		}
+		slots := np * vcs
+		rrEj := int(n.modTab[slots])
+		for k := 0; k < slots && budget > 0; k++ {
+			sl := rrEj + k
+			if sl >= slots {
+				sl -= slots
+			}
+			if r.ejOcc&(1<<uint(sl)) == 0 {
+				continue
+			}
+			p := r.in[sl/vcs]
+			vc := sl % vcs
+			for budget > 0 && !p.empty(vc) && p.head(vc).Pkt.Dst == r.node {
+				f := n.inPop(&s.wl, node, r, p, vc)
+				budget--
+				s.moved = true
+				f.Pkt.recv++
+				if f.IsTail() {
+					s.ej = append(s.ej, f.Pkt)
+				}
+			}
+		}
+	})
+}
+
+// replayEjections applies the deferred ejection completions in shard
+// order — which, shards being contiguous and each buffer append-ordered
+// by the ascending-node walk, is exactly the serial engines' ejection
+// order. Statistics, the OnEject callback (whose reply injections may
+// lease from the pool and land in any shard's source worklist) and the
+// recycle therefore interleave precisely as in EngineActive.
+func (n *Network) replayEjections() {
+	for i := range n.shards {
+		s := &n.shards[i]
+		for j, pkt := range s.ej {
+			s.ej[j] = nil
+			n.ejected++
+			n.col.PacketEjected(n.cycle, pkt.CreatedCycle, pkt.InjectedCycle, pkt.Len, pkt.Hops)
+			if n.onEject != nil {
+				n.onEject(pkt)
+			}
+			n.recyclePacket(pkt)
+		}
+		s.ej = s.ej[:0]
+	}
+}
+
+// parSwitchInject runs the switch-traversal and injection phases over
+// one shard. Fusing them into one span is sound because both phases
+// read and write only the state of the visited router and its NI — the
+// serial engines' global phase boundary orders nothing that two
+// different routers could observe.
+func (n *Network) parSwitchInject(s *parShard) {
+	vcs := n.alg.VCs()
+	s.wl.sw.forEach(func(node int) {
+		r := n.routers[node]
+		s.visits++
+		rrIn := int(n.modTab[len(r.in)])
+		m := r.inOcc &^ r.ejOcc
+		hi := m &^ (1<<uint(rrIn*vcs) - 1)
+		for _, part := range [2]uint64{hi, m ^ hi} {
+			for part != 0 {
+				p := r.slotIn[bits.TrailingZeros64(part)]
+				occ := part >> uint(p.slotBase)
+				part &^= (1<<uint(vcs) - 1) << uint(p.slotBase)
+				n.parSwitchPort(s, r, p, occ, vcs)
+			}
+		}
+	})
+	n.parInject(s)
+}
+
+// parSwitchPort mirrors switchPort against the shard's worklists.
+func (n *Network) parSwitchPort(s *parShard, r *router, p *inPort, occ uint64, vcs int) {
+	for j := 0; j < vcs; j++ {
+		inVC := (p.rrVC + j) % vcs
+		if occ&(1<<uint(inVC)) == 0 {
+			continue
+		}
+		f := p.head(inVC)
+		if f.lastMove >= n.cycle+1 {
+			continue // already advanced this cycle
+		}
+		entry := &p.route[inVC]
+		if f.IsHead() {
+			d := n.route(r, f.Pkt, inVC)
+			op := r.outPortByDir(d.Dir)
+			if op == nil {
+				panic(fmt.Sprintf("noc: %s chose missing direction %v at node %d for %v",
+					n.alg.Name(), d.Dir, r.node, f.Pkt))
+			}
+			ovc := op.vcs[d.VC]
+			if !n.canAdmit(ovc, f.Pkt) {
+				continue // allocation denied; retry next cycle
+			}
+			ovc.owner = f.Pkt
+			*entry = routeEntry{active: true, port: op, vc: d.VC}
+		} else if !entry.active {
+			panic(fmt.Sprintf("noc: body flit %v at node %d without switching state", f, r.node))
+		}
+		ovc := entry.port.vcs[entry.vc]
+		if ovc.owner != f.Pkt || ovc.full(n.cfg.OutBufCap) {
+			continue // space denied; retry next cycle
+		}
+		n.inPop(&s.wl, r.node, r, p, inVC)
+		f.VC = entry.vc
+		f.lastMove = n.cycle + 1
+		n.outPush(&s.wl, r.node, r, entry.port, entry.vc, f)
+		s.moved = true
+		if f.IsTail() {
+			ovc.owner = nil
+			entry.active = false
+		}
+		p.rrVC = (inVC + 1) % vcs
+		return // one flit per input port per cycle
+	}
+}
+
+// parInject mirrors activeInject over one shard's sources, deferring
+// the collector events (packet acceptances, source-blocked cycles) to
+// the end-of-cycle replay; everything else — source queue, worm state,
+// the output-queue pushes — is local to the shard.
+func (n *Network) parInject(s *parShard) {
+	s.wl.ni.forEach(func(node int) {
+		q := n.nis[node]
+		r := n.routers[node]
+		s.visits++
+		budget := n.cfg.InjectRate
+		for budget > 0 {
+			if q.sending == nil {
+				if q.queue.len() == 0 {
+					break
+				}
+				q.sending = q.queue.pop()
+				q.nextSeq = 0
+				q.vc = 0
+				q.route = routeEntry{}
+			}
+			pkt := q.sending
+			if q.nextSeq == 0 && !q.route.active {
+				d := n.route(r, pkt, 0)
+				op := r.outPortByDir(d.Dir)
+				if op == nil {
+					panic(fmt.Sprintf("noc: %s chose missing direction %v at source %d for %v",
+						n.alg.Name(), d.Dir, node, pkt))
+				}
+				ovc := op.vcs[d.VC]
+				if n.canAdmit(ovc, pkt) {
+					ovc.owner = pkt
+					q.route = routeEntry{active: true, port: op, vc: d.VC}
+				} else {
+					s.stats = append(s.stats, statRecord{})
+					break
+				}
+			}
+			ovc := q.route.port.vcs[q.route.vc]
+			if ovc.full(n.cfg.OutBufCap) {
+				s.stats = append(s.stats, statRecord{})
+				break
+			}
+			f := &pkt.flits[q.nextSeq]
+			f.VC = q.route.vc
+			f.lastMove = n.cycle + 1
+			n.outPush(&s.wl, node, r, q.route.port, q.route.vc, f)
+			s.moved = true
+			q.nextSeq++
+			budget--
+			if f.IsHead() {
+				pkt.InjectedCycle = n.cycle
+				s.stats = append(s.stats, statRecord{injected: true, flits: pkt.Len})
+			}
+			if f.IsTail() {
+				ovc.owner = nil
+				q.sending = nil
+				q.route = routeEntry{}
+			}
+		}
+		if q.sending == nil && q.queue.len() == 0 {
+			s.wl.ni.remove(node)
+		}
+	})
+}
+
+// parLink mirrors activeLink over one shard's link worklist. Arrivals
+// into a router of the same shard are applied directly (the serial
+// order within a shard is the serial engines' order); arrivals into
+// another shard are deferred to the end-of-cycle replay, which applies
+// them in canonical router-index order. Both paths are
+// decision-equivalent to the serial engines: an input port has exactly
+// one upstream output port, so the occupancy this phase reads cannot be
+// changed by any other shard during the span.
+func (n *Network) parLink(s *parShard) {
+	vcs := n.alg.VCs()
+	rrVC := int(n.modTab[vcs]) // every port has alg.VCs() queues
+	s.wl.out.forEach(func(node int) {
+		r := n.routers[node]
+		s.visits++
+		m := r.outOcc
+		for m != 0 {
+			op := r.slotOut[bits.TrailingZeros64(m)]
+			occ := m >> uint(op.slotBase)
+			m &^= (1<<uint(vcs) - 1) << uint(op.slotBase)
+			n.parLinkPort(s, node, r, op, occ, vcs, rrVC)
+		}
+	})
+}
+
+// parLinkPort mirrors linkPort with the cross-shard deferral.
+func (n *Network) parLinkPort(s *parShard, node int, r *router, op *outPort, occ uint64, vcs, rr int) {
+	for k := 0; k < vcs; k++ {
+		vi := rr + k
+		if vi >= vcs {
+			vi -= vcs
+		}
+		if occ&(1<<uint(vi)) == 0 {
+			continue
+		}
+		v := op.vcs[vi]
+		f := v.head()
+		if f.lastMove >= n.cycle+1 {
+			continue
+		}
+		if !n.canDepart(v) {
+			continue
+		}
+		ip := op.peer
+		if ip.full(vi, n.cfg.InBufCap) {
+			continue
+		}
+		n.outPop(&s.wl, node, r, op, vi)
+		f.lastMove = n.cycle + 1
+		if f.IsHead() {
+			f.Pkt.Hops++
+		}
+		n.linkFlits[op.ch.ID]++
+		if dst := op.ch.Dst; int(n.shardOf[dst]) == s.idx {
+			n.inPush(&s.wl, dst, op.peerRouter, ip, vi, f)
+		} else {
+			s.xpush = append(s.xpush, pushRecord{node: dst, p: ip, vc: vi, f: f})
+		}
+		s.moved = true
+		return // one flit per physical link per cycle
+	}
+}
+
+// finishParallelCycle is the end-of-cycle serial section: apply the
+// cross-shard link arrivals in canonical order, replay the deferred
+// injection statistics, merge the per-shard scratch counters, and close
+// the cycle exactly as stepActive does.
+func (n *Network) finishParallelCycle() {
+	for i := range n.shards {
+		s := &n.shards[i]
+		for j, rec := range s.xpush {
+			s.xpush[j] = pushRecord{}
+			wl := &n.shards[n.shardOf[rec.node]].wl
+			n.inPush(wl, rec.node, n.routers[rec.node], rec.p, rec.vc, rec.f)
+		}
+		s.xpush = s.xpush[:0]
+	}
+	for i := range n.shards {
+		s := &n.shards[i]
+		for _, st := range s.stats {
+			if st.injected {
+				n.injected++
+				n.col.PacketInjected(n.cycle, st.flits)
+			} else {
+				n.col.SourceBlocked(n.cycle)
+			}
+		}
+		s.stats = s.stats[:0]
+		if s.moved {
+			n.moved = true
+			s.moved = false
+		}
+		n.visits += s.visits
+		s.visits = 0
+	}
+	if n.moved {
+		n.lastActivity = n.cycle
+	}
+	n.cycle++
+	for _, d := range n.modDivs {
+		v := n.modTab[d] + 1
+		if v == uint32(d) {
+			v = 0
+		}
+		n.modTab[d] = v
+	}
+}
+
+// checkParallelInvariants proves the cross-shard bookkeeping the
+// parallel engine adds on top of the per-node worklist invariants: the
+// shard ranges tile the node space as the pure assignment function
+// dictates, no shard's worklists hold a node outside its range (a
+// foreign member would be drained by the wrong goroutine), and — at
+// every cycle boundary — the deferred-effect buffers are empty and the
+// scratch counters merged, so no packet, credit or statistic is parked
+// between shards. Together with CheckConservation's global packet and
+// pool accounting this proves cross-shard conservation: every flit that
+// left one shard's output queue arrived in the owning shard's input
+// bookkeeping the same cycle.
+func (n *Network) checkParallelInvariants() error {
+	nodes := n.topo.Nodes()
+	k := n.shardCount
+	if k < 1 || len(n.shards) != k {
+		return fmt.Errorf("noc: parallel engine with %d shards configured but %d built", k, len(n.shards))
+	}
+	for i := range n.shards {
+		s := &n.shards[i]
+		if s.lo != i*nodes/k || s.hi != (i+1)*nodes/k {
+			return fmt.Errorf("noc: shard %d covers [%d,%d), want [%d,%d)", i, s.lo, s.hi, i*nodes/k, (i+1)*nodes/k)
+		}
+		for _, set := range []struct {
+			name string
+			s    *activeSet
+		}{{"ejection", &s.wl.ej}, {"switch", &s.wl.sw}, {"link", &s.wl.out}, {"injection", &s.wl.ni}} {
+			bad := -1
+			set.s.forEach(func(v int) {
+				if (v < s.lo || v >= s.hi) && bad < 0 {
+					bad = v
+				}
+			})
+			if bad >= 0 {
+				return fmt.Errorf("noc: node %d on shard %d's %s worklist but owned by shard %d",
+					bad, i, set.name, n.shardOf[bad])
+			}
+		}
+		if len(s.ej) != 0 || len(s.stats) != 0 || len(s.xpush) != 0 {
+			return fmt.Errorf("noc: shard %d holds unreplayed deferred effects at a cycle boundary (%d ejections, %d stats, %d link arrivals)",
+				i, len(s.ej), len(s.stats), len(s.xpush))
+		}
+		if s.visits != 0 || s.moved {
+			return fmt.Errorf("noc: shard %d scratch counters not merged at a cycle boundary", i)
+		}
+	}
+	for v := 0; v < nodes; v++ {
+		if want := ((v+1)*k - 1) / nodes; int(n.shardOf[v]) != want {
+			return fmt.Errorf("noc: shardOf[%d] = %d, want %d", v, n.shardOf[v], want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,283 @@
+package noc
+
+import (
+	"fmt"
+	"testing"
+
+	"gonoc/internal/routing"
+	"gonoc/internal/sim"
+	"gonoc/internal/stats"
+	"gonoc/internal/topology"
+)
+
+// parallelShardCounts is the matrix every parallel test sweeps: the
+// degenerate single shard, even splits, and a count that does not
+// divide the node counts used (so ranges have mixed sizes).
+var parallelShardCounts = []int{1, 2, 4, 7}
+
+// newParallelNet builds a parallel-engine network with k shards over
+// the given fabric, registering worker cleanup with the test.
+func newParallelNet(t *testing.T, topo topology.Topology, alg routing.Algorithm, cfg Config, k int) *Network {
+	t.Helper()
+	n, err := NewNetwork(topo, alg, cfg, stats.NewCollector(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetShards(k)
+	n.SetEngine(EngineParallel)
+	if n.Engine() != EngineParallel {
+		t.Fatalf("parallel engine not selected (maskable=%v)", n.maskable)
+	}
+	t.Cleanup(n.StopWorkers)
+	return n
+}
+
+// The parallel engine must track the activity-driven reference cycle
+// for cycle at every shard count — any arbitration divergence, worklist
+// slip or mis-ordered cross-shard replay shows up in the buffer
+// occupancy fingerprint the same cycle it happens. The deterministic
+// work counters must match too: the shards visit exactly the nodes the
+// serial worklists would.
+func TestParallelAgreesCycleByCycle(t *testing.T) {
+	for _, k := range parallelShardCounts {
+		t.Run(fmt.Sprintf("shards=%d", k), func(t *testing.T) {
+			s := topology.MustSpidergon(16)
+			ref, err := NewNetwork(s, routing.NewSpidergonRouting(s), DefaultConfig(), stats.NewCollector(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			par := newParallelNet(t, s, routing.NewSpidergonRouting(s), DefaultConfig(), k)
+			rng := sim.NewRNG(7)
+			for cycle := 0; cycle < 3000; cycle++ {
+				if rng.Bernoulli(0.35) {
+					src, dst := rng.Intn(16), rng.Intn(16)
+					if src != dst {
+						if err := ref.Inject(src, dst); err != nil {
+							t.Fatal(err)
+						}
+						if err := par.Inject(src, dst); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				ref.Step()
+				par.Step()
+				if fa, fb := stateFingerprint(ref), stateFingerprint(par); fa != fb {
+					t.Fatalf("engines diverged at cycle %d:\nactive:   %s\nparallel: %s", cycle, fa, fb)
+				}
+				if na, nb := ref.ActiveNodes(), par.ActiveNodes(); na != nb {
+					t.Fatalf("cycle %d: ActiveNodes %d (active) vs %d (parallel)", cycle, na, nb)
+				}
+			}
+			if err := par.CheckConservation(); err != nil {
+				t.Fatal(err)
+			}
+			if ref.Perf().RouterVisits != par.Perf().RouterVisits {
+				t.Fatalf("worklist visits diverged: active %d, parallel %d",
+					ref.Perf().RouterVisits, par.Perf().RouterVisits)
+			}
+			if err := ref.Drain(10000); err != nil {
+				t.Fatal(err)
+			}
+			if err := par.Drain(10000); err != nil {
+				t.Fatal(err)
+			}
+			if fa, fb := stateFingerprint(ref), stateFingerprint(par); fa != fb {
+				t.Fatalf("engines diverged after drain:\nactive:   %s\nparallel: %s", fa, fb)
+			}
+		})
+	}
+}
+
+// Fuzz-style equivalence for the parallel engine: random topologies,
+// switching modes, buffer geometries, interface rates, injection
+// streams and shard counts must never separate it from the
+// activity-driven engine. Each trial also proves the worklist and
+// cross-shard invariants via CheckConservation.
+func TestParallelAgreesRandomized(t *testing.T) {
+	master := sim.NewRNG(99)
+	for trial := 0; trial < 10; trial++ {
+		rng := master.Split()
+		var topo topology.Topology
+		var alg routing.Algorithm
+		switch rng.Intn(3) {
+		case 0:
+			r := topology.MustRing(8 + 2*rng.Intn(5))
+			topo, alg = r, routing.NewRingRouting(r)
+		case 1:
+			s := topology.MustSpidergon(8 + 4*rng.Intn(3))
+			topo, alg = s, routing.NewSpidergonRouting(s)
+		default:
+			m := topology.MustMesh(3+rng.Intn(2), 3+rng.Intn(2))
+			topo, alg = m, routing.NewMeshXY(m)
+		}
+		cfg := DefaultConfig()
+		cfg.PacketLen = 2 + rng.Intn(6)
+		cfg.OutBufCap = 1 + rng.Intn(6)
+		cfg.SinkRate = 1 + rng.Intn(2)
+		cfg.InjectRate = 1 + rng.Intn(2)
+		if rng.Bernoulli(0.5) {
+			cfg.Switching = VirtualCutThrough
+			if cfg.OutBufCap < cfg.PacketLen {
+				cfg.OutBufCap = cfg.PacketLen
+			}
+		}
+		shards := 1 + rng.Intn(8)
+		name := fmt.Sprintf("trial %d (%s, %v, %d shards)", trial, topo.Name(), cfg, shards)
+		ref, err := NewNetwork(topo, alg, cfg, stats.NewCollector(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		par := newParallelNet(t, topo, alg, cfg, shards)
+		n := topo.Nodes()
+		rate := 0.05 + 0.4*rng.Float64()
+		for cycle := 0; cycle < 1200; cycle++ {
+			if rng.Bernoulli(rate) {
+				src, dst := rng.Intn(n), rng.Intn(n)
+				if src != dst {
+					_ = ref.Inject(src, dst)
+					_ = par.Inject(src, dst)
+				}
+			}
+			ref.Step()
+			par.Step()
+		}
+		if fa, fb := stateFingerprint(ref), stateFingerprint(par); fa != fb {
+			t.Fatalf("%s: engines diverged:\nactive:   %s\nparallel: %s", name, fa, fb)
+		}
+		if err := ref.CheckConservation(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := par.CheckConservation(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// Closed-loop traffic is the sharpest test of the deferred ejection
+// replay: OnEject fires inside Step and injects replies whose packet
+// IDs, pool leases and source-worklist entries must interleave with the
+// recycles exactly as under the serial engine — across shards.
+func TestParallelOnEjectReplies(t *testing.T) {
+	for _, k := range parallelShardCounts {
+		t.Run(fmt.Sprintf("shards=%d", k), func(t *testing.T) {
+			s := topology.MustSpidergon(16)
+			ref, err := NewNetwork(s, routing.NewSpidergonRouting(s), DefaultConfig(), stats.NewCollector(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			par := newParallelNet(t, s, routing.NewSpidergonRouting(s), DefaultConfig(), k)
+			// Every delivered request triggers one reply until the budget
+			// drains; both networks see the identical callback logic.
+			reply := func(n *Network, budget *int) func(p *Packet) {
+				return func(p *Packet) {
+					if *budget <= 0 || p.Src == p.Dst {
+						return
+					}
+					*budget--
+					_ = n.Inject(p.Dst, p.Src)
+				}
+			}
+			budRef, budPar := 400, 400
+			ref.OnEject(reply(ref, &budRef))
+			par.OnEject(reply(par, &budPar))
+			rng := sim.NewRNG(12)
+			for cycle := 0; cycle < 2500; cycle++ {
+				if cycle < 600 && rng.Bernoulli(0.3) {
+					src, dst := rng.Intn(16), rng.Intn(16)
+					if src != dst {
+						_ = ref.Inject(src, dst)
+						_ = par.Inject(src, dst)
+					}
+				}
+				ref.Step()
+				par.Step()
+				if fa, fb := stateFingerprint(ref), stateFingerprint(par); fa != fb {
+					t.Fatalf("engines diverged at cycle %d:\nactive:   %s\nparallel: %s", cycle, fa, fb)
+				}
+			}
+			if budRef != budPar {
+				t.Fatalf("reply budgets diverged: active %d, parallel %d", budRef, budPar)
+			}
+			if err := par.CheckConservation(); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.CheckConservation(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Reset must return a parallel network to a state bit-identical to a
+// fresh one (with its workers parked), so campaign workspaces can reuse
+// it across replications.
+func TestParallelResetReplaysIdentically(t *testing.T) {
+	s := topology.MustSpidergon(16)
+	par := newParallelNet(t, s, routing.NewSpidergonRouting(s), DefaultConfig(), 4)
+	run := func() string {
+		rng := sim.NewRNG(5)
+		for cycle := 0; cycle < 800; cycle++ {
+			if rng.Bernoulli(0.3) {
+				src, dst := rng.Intn(16), rng.Intn(16)
+				if src != dst {
+					_ = par.Inject(src, dst)
+				}
+			}
+			par.Step()
+		}
+		return stateFingerprint(par)
+	}
+	first := run()
+	if err := par.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	par.Reset()
+	par.SetEngine(EngineParallel) // Reset keeps the engine; rebuild worklists
+	if second := run(); second != first {
+		t.Fatalf("post-Reset replay diverged:\nfirst:  %s\nsecond: %s", first, second)
+	}
+}
+
+// The cross-shard invariant checker must actually catch the failure
+// modes it claims to: a stranded node (off every shard worklist), a
+// node enrolled in a foreign shard's worklist, and deferred effects
+// left unreplayed at a cycle boundary.
+func TestParallelInvariantsCatchCorruption(t *testing.T) {
+	build := func() *Network {
+		s := topology.MustSpidergon(16)
+		par := newParallelNet(t, s, routing.NewSpidergonRouting(s), DefaultConfig(), 4)
+		if err := par.Inject(0, 9); err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < 3; c++ {
+			par.Step()
+		}
+		if par.InFlightFlits() == 0 {
+			t.Fatal("expected in-flight flits")
+		}
+		return par
+	}
+
+	par := build()
+	for i := range par.shards {
+		par.shards[i].wl.ej.clear()
+		par.shards[i].wl.sw.clear()
+		par.shards[i].wl.out.clear()
+	}
+	if err := par.CheckConservation(); err == nil {
+		t.Fatal("conservation check missed a stranded flit")
+	}
+
+	par = build()
+	par.shards[0].wl.ni.add(15) // node 15 belongs to shard 3
+	if err := par.CheckConservation(); err == nil {
+		t.Fatal("conservation check missed a foreign worklist member")
+	}
+
+	par = build()
+	par.shards[2].stats = append(par.shards[2].stats, statRecord{})
+	if err := par.CheckConservation(); err == nil {
+		t.Fatal("conservation check missed an unreplayed deferred effect")
+	}
+}

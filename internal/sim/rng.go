@@ -34,6 +34,15 @@ func splitmix64(x *uint64) uint64 {
 // built from the same seed produce identical sequences.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed re-initialises the generator in place, exactly as NewRNG seeds a
+// fresh one. It exists so long-lived components (a workspace's traffic
+// generator, its per-node streams) can rewind their streams for the
+// next run without reallocating one RNG per node.
+func (r *RNG) Seed(seed uint64) {
 	x := seed
 	for i := range r.s {
 		r.s[i] = splitmix64(&x)
@@ -44,13 +53,19 @@ func NewRNG(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
 }
 
 // Split derives a new, statistically independent stream from this one.
 // The parent stream advances by one draw.
 func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64())
+}
+
+// SplitInto is Split writing the derived stream into dst instead of
+// allocating — the parent stream advances by one draw either way, so
+// Split and SplitInto are interchangeable draw for draw.
+func (r *RNG) SplitInto(dst *RNG) {
+	dst.Seed(r.Uint64())
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

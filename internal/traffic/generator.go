@@ -31,7 +31,7 @@ type Generator struct {
 	pattern Pattern
 	process Process
 	rates   []float64
-	rngs    []*sim.RNG
+	rngs    []sim.RNG // per-source streams, one backing array
 	// isSource caches pattern membership per node, hoisted to
 	// construction so rate queries never re-probe the pattern (the seed
 	// OfferedFlitRate allocated a throwaway RNG per node per call).
@@ -61,29 +61,46 @@ const (
 // NewGenerator builds a generator for net on kernel k with the given
 // pattern, per-source rate (packets/cycle) and master seed.
 func NewGenerator(k *sim.Kernel, net *noc.Network, p Pattern, proc Process, rate float64, seed uint64) (*Generator, error) {
+	return RenewGenerator(nil, k, net, p, proc, rate, seed)
+}
+
+// RenewGenerator is NewGenerator reusing a previous run's generator
+// when one is supplied and its node count matches: the per-source rate,
+// RNG and arrival-horizon slices are re-initialised in place instead of
+// reallocated, so a warm workspace re-arms its traffic for the next
+// replication without touching the allocator. A renewed generator is
+// draw-for-draw identical to a fresh one (proven by the determinism
+// tests); prev may be nil or mismatched, in which case a fresh
+// generator is built.
+func RenewGenerator(prev *Generator, k *sim.Kernel, net *noc.Network, p Pattern, proc Process, rate float64, seed uint64) (*Generator, error) {
 	if rate < 0 {
 		return nil, fmt.Errorf("traffic: negative rate %v", rate)
 	}
 	n := net.Topology().Nodes()
-	g := &Generator{
-		kernel:   k,
-		net:      net,
-		pattern:  p,
-		process:  proc,
-		rates:    make([]float64, n),
-		rngs:     make([]*sim.RNG, n),
-		isSource: make([]bool, n),
-		next:     make([]sim.Time, n),
-		batch:    true,
+	g := prev
+	if g == nil || len(g.rates) != n {
+		g = &Generator{
+			rates:    make([]float64, n),
+			rngs:     make([]sim.RNG, n),
+			isSource: make([]bool, n),
+			next:     make([]sim.Time, n),
+		}
 	}
-	master := sim.NewRNG(seed)
-	probe := sim.NewRNG(0)
+	g.kernel, g.net = k, net
+	g.pattern, g.process = p, proc
+	g.offered = 0
+	g.started = false
+	g.batch = true
+	var master, probe sim.RNG
+	master.Seed(seed)
+	probe.Seed(0)
 	for i := 0; i < n; i++ {
 		g.rates[i] = rate
-		g.rngs[i] = master.Split()
+		master.SplitInto(&g.rngs[i])
+		g.next[i] = 0
 		// Source membership is structural for every Pattern (it never
 		// depends on the probe's draws), so one shared probe suffices.
-		_, g.isSource[i] = p.Destination(i, probe)
+		_, g.isSource[i] = p.Destination(i, &probe)
 	}
 	return g, nil
 }
@@ -137,7 +154,9 @@ func (g *Generator) Start() {
 		if g.rates[node] <= 0 {
 			continue
 		}
-		if _, ok := g.pattern.Destination(node, g.rngs[node].Split()); !ok {
+		var probe sim.RNG
+		g.rngs[node].SplitInto(&probe)
+		if _, ok := g.pattern.Destination(node, &probe); !ok {
 			continue // not a source under this pattern
 		}
 		switch g.process {
@@ -161,7 +180,7 @@ func arrivalCycle(t sim.Time) uint64 { return uint64(math.Ceil(float64(t))) }
 // Fire implements sim.Handler: one event per source, dispatched by the
 // configured process.
 func (g *Generator) Fire(node int) {
-	r := g.rngs[node]
+	r := &g.rngs[node]
 	switch g.process {
 	case Poisson:
 		// Emit the due arrival, then every pre-drawn follow-up landing in
