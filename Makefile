@@ -6,7 +6,7 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: all build test vet fmt fmt-check bench bench-check bench-alloc bench-baseline bench-speedup race-parallel ci
+.PHONY: all build test vet lint fmt fmt-check cover bench bench-check bench-alloc bench-baseline bench-speedup race-parallel telemetry-check ci
 
 all: build
 
@@ -18,6 +18,23 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# lint mirrors CI's staticcheck step. The tool needs network access to
+# install, so offline checkouts degrade to a skip message instead of a
+# failure — CI always runs it.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not on PATH; skipped (CI installs and runs it)"; \
+	fi
+
+# cover mirrors CI's coverage step: the race-tested coverage profile
+# plus the total, which CI also prints into the job summary and uploads
+# as an artifact.
+cover:
+	$(GO) test -race -shuffle on -covermode=atomic -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
 
 fmt:
 	gofmt -w .
@@ -63,6 +80,21 @@ bench-speedup:
 race-parallel:
 	$(GO) test -race -run 'Parallel' ./internal/noc/ ./internal/core/
 
+# telemetry-check proves the FTDC-style capture end to end on every
+# push: a bounded knee run (the PerfGate knee workload: mesh-8x8
+# uniform at 90% of the 0.5 flits/cycle/source analytic saturation
+# bound) with telemetry on, decoded and diffed against the committed
+# golden summary, then re-encoded byte-for-byte by noctsd roundtrip.
+telemetry-check:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/nocsim -topo mesh -n 64 -traffic uniform -flitrate 0.45 \
+		-warmup 300 -cycles 3000 -seed 1 -telemetry "$$tmp/knee.tsd" >/dev/null; \
+	$(GO) run ./cmd/noctsd summary "$$tmp/knee.tsd" > "$$tmp/summary.txt"; \
+	diff -u testdata/telemetry-knee-summary.golden "$$tmp/summary.txt"; \
+	$(GO) run ./cmd/noctsd roundtrip "$$tmp/knee.tsd"
+
 # ci runs bench-alloc rather than bench-check: it is the same gate
 # against the same baseline, with -benchmem columns added for free.
-ci: build vet fmt-check test race-parallel bench bench-alloc bench-speedup
+# cover re-runs the race suite with -coverprofile, exactly as CI's
+# coverage step does.
+ci: build vet lint fmt-check cover race-parallel telemetry-check bench bench-alloc bench-speedup

@@ -8,6 +8,7 @@ package gonoc
 
 import (
 	"context"
+	"io"
 	"math"
 	"runtime"
 	"testing"
@@ -20,6 +21,7 @@ import (
 	"gonoc/internal/routing"
 	"gonoc/internal/sim"
 	"gonoc/internal/stats"
+	"gonoc/internal/telemetry"
 	"gonoc/internal/topology"
 )
 
@@ -329,10 +331,21 @@ func BenchmarkPerfGate(b *testing.B) {
 		// alongside but deliberately NOT gated — it depends on the
 		// host's core count, which the deterministic gate must not.
 		{"knee-parallel", 0.9, 4},
+		// The telemetry point re-runs the knee with per-cycle capture
+		// streaming to io.Discard: its work and allocation counters
+		// must match the plain knee's baselines (capture is free on
+		// the hot path), and the encoded telemetry bytes per simulated
+		// cycle is itself a gated deterministic counter — the encoding
+		// getting fatter is a regression the gate catches.
+		{"knee-telemetry", 0.9, 0},
 	}
 	for _, load := range loads {
 		s := engineScenario(load.frac)
 		s.StepParallel = load.shards
+		var telStats telemetry.Stats
+		if load.name == "knee-telemetry" {
+			s.Telemetry = &telemetry.Options{W: io.Discard, Stats: &telStats}
+		}
 		if load.frac == 0 {
 			// The idle point gates the fast-forward itself: traffic so
 			// sparse the network fully drains between arrivals, so most
@@ -359,6 +372,9 @@ func BenchmarkPerfGate(b *testing.B) {
 			cycles := float64(s.Warmup + s.Measure + 1)
 			b.ReportMetric(float64(perf.RouterVisits)/cycles, "visits/cycle")
 			b.ReportMetric((cycles-float64(perf.SkippedCycles))/cycles, "ticked-frac")
+			if s.Telemetry != nil {
+				b.ReportMetric(float64(telStats.Bytes)/cycles, "telemetry-bytes/cycle")
+			}
 
 			// Steady-state allocation metrics: one further run on the
 			// warmed workspace, bracketed by exact allocator counters

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 
 	"gonoc/internal/core"
 	"gonoc/internal/prof"
+	"gonoc/internal/telemetry"
 )
 
 func main() {
@@ -40,6 +42,7 @@ func main() {
 		jsonOut = flag.Bool("json", false, "emit the result as JSON")
 		scnFile = flag.String("config", "", "JSON scenario file (overrides other flags)")
 		stepPar = flag.Int("step-parallel", 0, "router shards for the domain-decomposed Step engine (0 = serial; results are identical)")
+		telFile = flag.String("telemetry", "", "write a per-cycle telemetry capture to this file (decode with noctsd)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -55,6 +58,32 @@ func main() {
 		}
 	}()
 
+	// Telemetry writes through one buffered file writer; finish()
+	// flushes and reports the capture size after the run completes.
+	var (
+		telOpts  *telemetry.Options
+		telStats telemetry.Stats
+		telDone  = func() {}
+	)
+	if *telFile != "" {
+		f, err := os.Create(*telFile)
+		if err != nil {
+			fatal(err)
+		}
+		bw := bufio.NewWriter(f)
+		telOpts = &telemetry.Options{W: bw, Stats: &telStats}
+		telDone = func() {
+			if err := bw.Flush(); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "nocsim: telemetry: %d samples in %d chunks, %d bytes -> %s\n",
+				telStats.Samples, telStats.Chunks, telStats.Bytes, *telFile)
+		}
+	}
+
 	if *scnFile != "" {
 		data, err := os.ReadFile(*scnFile)
 		if err != nil {
@@ -64,8 +93,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if telOpts != nil && len(scenarios) != 1 {
+			fatal(fmt.Errorf("-telemetry captures a single scenario; %s has %d", *scnFile, len(scenarios)))
+		}
 		for _, sc := range scenarios {
 			sc.StepParallel = *stepPar
+			sc.Telemetry = telOpts
 			r, err := core.Run(sc)
 			if err != nil {
 				fatal(err)
@@ -78,6 +111,7 @@ func main() {
 				report(sc, r)
 			}
 		}
+		telDone()
 		return
 	}
 
@@ -103,10 +137,12 @@ func main() {
 		}
 	}
 
+	s.Telemetry = telOpts
 	r, err := core.Run(s)
 	if err != nil {
 		fatal(err)
 	}
+	telDone()
 	if *jsonOut {
 		if err := core.WriteResultJSON(os.Stdout, r); err != nil {
 			fatal(err)

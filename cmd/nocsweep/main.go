@@ -45,6 +45,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		stepPar  = flag.Int("step-parallel", 0, "router shards per simulation (intra-scenario parallelism; divides the -parallel budget)")
 		out      = flag.String("out", "", "write per-run and summary records as JSONL to this file")
+		sqlOut   = flag.String("sqlite", "", "archive per-run and summary records as a SQLite database at this path")
 		csv      = flag.Bool("csv", false, "CSV output")
 		lat      = flag.Bool("latency", false, "report latency instead of throughput")
 		sat      = flag.Bool("saturation", false, "also search the measured saturation rate per topology")
@@ -159,6 +160,11 @@ func main() {
 		outFile = f
 		sinks = append(sinks, exp.NewJSONLWriter(f))
 	}
+	var sqlSink *exp.SQLiteSink
+	if *sqlOut != "" {
+		sqlSink = exp.NewSQLiteSink(*sqlOut)
+		sinks = append(sinks, sqlSink)
+	}
 
 	aggs, err := runner.Run(context.Background(), campaign, sinks...)
 	if err != nil {
@@ -168,6 +174,12 @@ func main() {
 		// A close error here means the results file is truncated;
 		// exiting 0 would pass the corruption downstream.
 		if err := outFile.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if sqlSink != nil {
+		// The archive is assembled in memory and only hits disk here.
+		if err := sqlSink.Close(); err != nil {
 			fatal(err)
 		}
 	}

@@ -1,0 +1,251 @@
+// Command noctsd decodes per-cycle telemetry captures written by
+// nocsim -telemetry (or any core run with Scenario.Telemetry set).
+//
+// Usage:
+//
+//	noctsd summary capture.tsd              # deterministic text summary
+//	noctsd dump [-from N] [-to N] capture.tsd   # CSV on stdout
+//	noctsd slice -from N -to N capture.tsd out.tsd  # re-encode a cycle range
+//	noctsd roundtrip capture.tsd            # decode+re-encode, verify byte identity
+//
+// Cycle ranges are half-open [from, to); -to 0 means "to the end".
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"gonoc/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "summary":
+		err = summary(args)
+	case "dump":
+		err = dump(args)
+	case "slice":
+		err = slice(args)
+	case "roundtrip":
+		err = roundtrip(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noctsd:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: noctsd summary|dump|slice|roundtrip [flags] <capture> [out]")
+	os.Exit(2)
+}
+
+func load(path string) (*telemetry.Capture, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return telemetry.Decode(f)
+}
+
+// summary prints a deterministic digest of the capture: the golden
+// file diffed by make telemetry-check is exactly this output.
+func summary(args []string) error {
+	fs := flag.NewFlagSet("summary", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	c, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	spec := c.Spec()
+	fmt.Printf("nodes    %d\n", spec.Nodes)
+	fmt.Printf("links    %d\n", spec.Links)
+	fmt.Printf("chunklen %d\n", spec.ChunkLen)
+	fmt.Printf("samples  %d\n", c.Samples())
+	if c.Samples() == 0 {
+		return nil
+	}
+	last := c.Samples() - 1
+	fmt.Printf("cycles   %d..%d\n", c.Cycle(0), c.Cycle(last))
+	var inj, ej, link, occSum, occMax uint64
+	maxAt := [2]uint64{} // cycle, node
+	for n := 0; n < spec.Nodes; n++ {
+		inj += c.Inj(last, n)
+		ej += c.Ej(last, n)
+	}
+	for l := 0; l < spec.Links; l++ {
+		link += c.Link(last, l)
+	}
+	for i := 0; i < c.Samples(); i++ {
+		for n := 0; n < spec.Nodes; n++ {
+			o := c.Occ(i, n)
+			occSum += o
+			if o > occMax {
+				occMax = o
+				maxAt = [2]uint64{c.Cycle(i), uint64(n)}
+			}
+		}
+	}
+	fmt.Printf("injected %d flits\n", inj)
+	fmt.Printf("ejected  %d flits\n", ej)
+	fmt.Printf("link     %d traversals\n", link)
+	fmt.Printf("occ-mean %.6f flits/node/sample\n", float64(occSum)/float64(c.Samples()*spec.Nodes))
+	fmt.Printf("occ-max  %d flits (cycle %d, node %d)\n", occMax, maxAt[0], maxAt[1])
+	return nil
+}
+
+// rangeFlags parses -from/-to and returns the sample index range
+// [lo, hi) whose cycles fall inside the half-open cycle range.
+func rangeFlags(fs *flag.FlagSet) (from, to *uint64) {
+	from = fs.Uint64("from", 0, "first cycle to include")
+	to = fs.Uint64("to", 0, "first cycle to exclude (0 = end)")
+	return
+}
+
+func sampleRange(c *telemetry.Capture, from, to uint64) (int, int) {
+	lo := 0
+	for lo < c.Samples() && c.Cycle(lo) < from {
+		lo++
+	}
+	hi := c.Samples()
+	if to > 0 {
+		hi = lo
+		for hi < c.Samples() && c.Cycle(hi) < to {
+			hi++
+		}
+	}
+	return lo, hi
+}
+
+func dump(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	from, to := rangeFlags(fs)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	c, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	spec := c.Spec()
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprint(w, "cycle")
+	for _, col := range []string{"occ", "inj", "ej"} {
+		for n := 0; n < spec.Nodes; n++ {
+			fmt.Fprintf(w, ",%s%d", col, n)
+		}
+	}
+	for l := 0; l < spec.Links; l++ {
+		fmt.Fprintf(w, ",link%d", l)
+	}
+	fmt.Fprintln(w)
+	lo, hi := sampleRange(c, *from, *to)
+	for i := lo; i < hi; i++ {
+		row := c.Row(i)
+		for j, v := range row {
+			if j > 0 {
+				fmt.Fprint(w, ",")
+			}
+			fmt.Fprint(w, v)
+		}
+		fmt.Fprintln(w)
+	}
+	return w.Flush()
+}
+
+func slice(args []string) error {
+	fs := flag.NewFlagSet("slice", flag.ExitOnError)
+	from, to := rangeFlags(fs)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		usage()
+	}
+	c, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rec, err := telemetry.NewRecorder(c.Spec())
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(out)
+	if err := rec.Start(bw); err != nil {
+		return err
+	}
+	lo, hi := sampleRange(c, *from, *to)
+	for i := lo; i < hi; i++ {
+		rec.Append(c.Row(i))
+	}
+	if err := rec.Flush(); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	st := rec.Stats()
+	fmt.Fprintf(os.Stderr, "noctsd: sliced %d of %d samples, %d bytes -> %s\n",
+		hi-lo, c.Samples(), st.Bytes, fs.Arg(1))
+	return nil
+}
+
+// roundtrip proves the encoding is lossless and deterministic: a
+// decoded capture re-encoded row by row must reproduce the input file
+// byte for byte (chunk boundaries are a pure function of the row
+// sequence).
+func roundtrip(args []string) error {
+	fs := flag.NewFlagSet("roundtrip", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	raw, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	c, err := telemetry.Decode(bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	rec, err := telemetry.NewRecorder(c.Spec())
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := rec.Start(&buf); err != nil {
+		return err
+	}
+	for i := 0; i < c.Samples(); i++ {
+		rec.Append(c.Row(i))
+	}
+	if err := rec.Flush(); err != nil {
+		return err
+	}
+	if !bytes.Equal(raw, buf.Bytes()) {
+		return fmt.Errorf("re-encode mismatch: %d bytes in, %d bytes out", len(raw), buf.Len())
+	}
+	fmt.Printf("roundtrip ok: %d samples, %d bytes\n", c.Samples(), len(raw))
+	return nil
+}

@@ -42,7 +42,14 @@
 // whose merged streams equal the unsharded output, variance-aware
 // adaptive replication, saturation-knee grid refinement, and the
 // regenerators for the paper's simulated figures (5-11) with CI95
-// columns. See README.md for a tour and EXPERIMENTS.md for the
-// paper-versus-measured methodology; bench_test.go in this directory
-// holds one benchmark per paper figure.
+// columns. Observability rides on top without disturbing any of it:
+// internal/telemetry captures every simulated cycle (occupancy,
+// per-router injection/ejection, link utilization) through a
+// preallocated ring with delta/varint chunk encoding — allocation-free
+// in steady state, bit-identical across engines and shard counts,
+// decoded by cmd/noctsd — and exp.SQLiteSink archives campaign results
+// as a real SQLite database written dependency-free by
+// internal/sqlitefile. See README.md for a tour and EXPERIMENTS.md for
+// the paper-versus-measured methodology; bench_test.go in this
+// directory holds one benchmark per paper figure.
 package gonoc

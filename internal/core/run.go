@@ -8,6 +8,7 @@ import (
 	"gonoc/internal/noc"
 	"gonoc/internal/sim"
 	"gonoc/internal/stats"
+	"gonoc/internal/telemetry"
 	"gonoc/internal/traffic"
 )
 
@@ -102,6 +103,10 @@ type Workspace struct {
 	// (traffic.RenewGenerator), so replications do not pay one
 	// allocation per node for fresh streams.
 	gen *traffic.Generator
+	// rec is the reusable telemetry recorder; its ring and encode
+	// buffers are sized by the capture spec, so telemetry-on
+	// replications reuse them instead of reallocating per run.
+	rec *telemetry.Recorder
 }
 
 // Run executes the scenario on the workspace; see RunPerf.
@@ -165,6 +170,32 @@ func (w *Workspace) RunPerf(s Scenario) (Result, noc.PerfStats, error) {
 	defer net.StopWorkers()
 	ticker := sim.NewTicker(kernel, 1)
 	ticker.OnTick(func(uint64) { net.Step() })
+	var rec *telemetry.Recorder
+	if s.Telemetry != nil && s.Telemetry.W != nil {
+		cl := s.Telemetry.ChunkLen
+		if cl <= 0 {
+			cl = telemetry.DefaultChunkLen
+		}
+		spec := telemetry.Spec{Nodes: s.Nodes, Links: len(net.Topology().Channels()), ChunkLen: cl}
+		if w.rec == nil || w.rec.Spec() != spec {
+			r, err := telemetry.NewRecorder(spec)
+			if err != nil {
+				return Result{}, noc.PerfStats{}, err
+			}
+			w.rec = r
+		}
+		rec = w.rec
+		if err := rec.Start(s.Telemetry.W); err != nil {
+			return Result{}, noc.PerfStats{}, fmt.Errorf("core: %s: telemetry: %w", s.Label(), err)
+		}
+		// Sampling is a second tick phase: it runs after Step each
+		// ticked cycle, so every engine samples identical post-cycle
+		// state. Cycles elided by idle fast-forward emit no sample.
+		ticker.OnTick(func(uint64) {
+			tv := net.Telemetry()
+			rec.Sample(net.Cycle()-1, tv.Occ, tv.Inj, tv.Ej, tv.Link)
+		})
+	}
 	total := sim.Time(s.Warmup + s.Measure)
 	if eng := net.Engine(); eng == noc.EngineActive || eng == noc.EngineParallel {
 		// Idle fast-forward: when the network is fully quiescent, the
@@ -198,6 +229,14 @@ func (w *Workspace) RunPerf(s Scenario) (Result, noc.PerfStats, error) {
 	// final cycle count; align it so cycle-normalized observables
 	// (link utilisation) match the reference engine exactly.
 	net.SkipTo(uint64(total) + 1)
+	if rec != nil {
+		if err := rec.Flush(); err != nil {
+			return Result{}, net.Perf(), fmt.Errorf("core: %s: telemetry: %w", s.Label(), err)
+		}
+		if s.Telemetry.Stats != nil {
+			*s.Telemetry.Stats = rec.Stats()
+		}
+	}
 
 	if err := net.CheckConservation(); err != nil {
 		return Result{}, net.Perf(), fmt.Errorf("core: %s: %w", s.Label(), err)

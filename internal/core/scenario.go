@@ -11,6 +11,7 @@ import (
 	"gonoc/internal/analysis"
 	"gonoc/internal/noc"
 	"gonoc/internal/routing"
+	"gonoc/internal/telemetry"
 	"gonoc/internal/topology"
 	"gonoc/internal/traffic"
 )
@@ -107,6 +108,19 @@ type Scenario struct {
 	// it for lone long-running points — near and past saturation —
 	// where campaign-level parallelism has nothing left to parallelize.
 	StepParallel int `json:"-"`
+
+	// Telemetry, when non-nil with a writer, streams a per-cycle
+	// capture of the network's probe counters (occupancy, per-node
+	// injection/ejection, link traversals) to Telemetry.W in the
+	// chunked delta format of internal/telemetry. Like Engine it is
+	// excluded from the cache key and serialization: capture observes
+	// the run without perturbing it — results and engine work counters
+	// are bit-identical with telemetry on or off, and the capture
+	// itself is bit-identical across engines and shard counts (proven
+	// by the telemetry golden tests). Ticked cycles emit one sample
+	// each; cycles elided by idle fast-forward emit none, which the
+	// cycle series records as a delta gap.
+	Telemetry *telemetry.Options `json:"-"`
 }
 
 // NewScenario returns a scenario with the paper's defaults: Poisson

@@ -157,6 +157,7 @@ func (n *Network) refreshInSets(wl *worklists, node int, r *router) {
 // occupancy and head-locality bits from the newly exposed head.
 func (n *Network) inPop(wl *worklists, node int, r *router, p *inPort, vc int) *Flit {
 	f := p.pop(vc)
+	n.telOcc[node]--
 	bit := uint64(1) << uint(p.slotBase+vc)
 	switch {
 	case p.bufs[vc].len() == 0:
@@ -175,6 +176,7 @@ func (n *Network) inPop(wl *worklists, node int, r *router, p *inPort, vc int) *
 func (n *Network) inPush(wl *worklists, node int, r *router, p *inPort, vc int, f *Flit) {
 	wasEmpty := p.bufs[vc].len() == 0
 	p.push(vc, f)
+	n.telOcc[node]++
 	bit := uint64(1) << uint(p.slotBase+vc)
 	r.inOcc |= bit
 	if wasEmpty && f.Pkt.Dst == r.node {
@@ -186,6 +188,7 @@ func (n *Network) inPush(wl *worklists, node int, r *router, p *inPort, vc int, 
 // outPush appends f to the output queue (op, vc) of node's router.
 func (n *Network) outPush(wl *worklists, node int, r *router, op *outPort, vc int, f *Flit) {
 	op.vcs[vc].push(f)
+	n.telOcc[node]++
 	r.outOcc |= 1 << uint(op.slotBase+vc)
 	wl.out.add(node)
 }
@@ -196,6 +199,7 @@ func (n *Network) outPush(wl *worklists, node int, r *router, op *outPort, vc in
 func (n *Network) outPop(wl *worklists, node int, r *router, op *outPort, vc int) *Flit {
 	v := op.vcs[vc]
 	f := v.pop()
+	n.telOcc[node]--
 	if v.empty() {
 		r.outOcc &^= 1 << uint(op.slotBase+vc)
 		if r.outOcc == 0 {
@@ -258,6 +262,7 @@ func (n *Network) activeEject() {
 			vc := s % vcs
 			for budget > 0 && !p.empty(vc) && p.head(vc).Pkt.Dst == r.node {
 				f := n.inPop(&n.wl, node, r, p, vc)
+				n.telEj[node]++
 				budget--
 				n.moved = true
 				f.Pkt.recv++
@@ -391,6 +396,7 @@ func (n *Network) activeInject() {
 			f.VC = q.route.vc
 			f.lastMove = n.cycle + 1
 			n.outPush(&n.wl, node, r, q.route.port, q.route.vc, f)
+			n.telInj[node]++
 			n.moved = true
 			q.nextSeq++
 			budget--

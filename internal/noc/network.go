@@ -66,6 +66,17 @@ type Network struct {
 
 	// linkFlits counts flit traversals per channel ID.
 	linkFlits []uint64
+	// Telemetry probe counters, maintained by every engine exactly where
+	// flits move (so they cost one array increment, never an allocation):
+	// telOcc is the number of flits resident in each router's buffers,
+	// telInj/telEj the cumulative flits injected by / ejected at each
+	// node. Under EngineParallel each element is written only by the
+	// shard owning its node (or in the serial sections), so the probes
+	// stay race-clean. telemetry.Recorder samples them through
+	// Telemetry() once per cycle.
+	telOcc []int32
+	telInj []uint64
+	telEj  []uint64
 	// consSeen and poolSeen are the reusable scratch maps of
 	// CheckConservation: campaign replications re-verify one network per
 	// run, so the maps live here (cleared per check) instead of being
@@ -106,6 +117,9 @@ func NewNetwork(t topology.Topology, a routing.Algorithm, cfg Config, col *stats
 	}
 	n := &Network{topo: t, alg: a, cfg: cfg, col: col, pooling: true}
 	n.linkFlits = make([]uint64, len(t.Channels()))
+	n.telOcc = make([]int32, t.Nodes())
+	n.telInj = make([]uint64, t.Nodes())
+	n.telEj = make([]uint64, t.Nodes())
 	if aa, ok := a.(routing.Adaptive); ok {
 		n.adaptive = aa
 	}
@@ -371,6 +385,8 @@ func (n *Network) ejectPhase() {
 			vc := s % vcs
 			for budget > 0 && !p.empty(vc) && p.head(vc).Pkt.Dst == r.node {
 				f := p.pop(vc)
+				n.telOcc[r.node]--
+				n.telEj[r.node]++
 				budget--
 				n.moved = true
 				f.Pkt.recv++
@@ -498,6 +514,8 @@ func (n *Network) injectPhase() {
 			f.VC = q.route.vc
 			f.lastMove = n.cycle + 1
 			ovc.push(f)
+			n.telOcc[node]++
+			n.telInj[node]++
 			n.moved = true
 			q.nextSeq++
 			budget--
@@ -543,12 +561,14 @@ func (n *Network) linkPhase() {
 					continue
 				}
 				v.pop()
+				n.telOcc[r.node]--
 				f.lastMove = n.cycle + 1
 				if f.IsHead() {
 					f.Pkt.Hops++
 				}
 				n.linkFlits[op.ch.ID]++
 				ip.push(vi, f)
+				n.telOcc[op.ch.Dst]++
 				n.moved = true
 				sent = true
 			}
@@ -654,6 +674,12 @@ func (n *Network) CheckConservation() error {
 					}
 				}
 			}
+		}
+		// The telemetry occupancy probe is maintained incrementally by
+		// every engine; prove it against the buffer ground truth so a
+		// missed increment cannot silently skew captures.
+		if got, want := n.telOcc[r.node], int32(r.bufferedFlits()); got != want {
+			return fmt.Errorf("noc: node %d telemetry occupancy %d disagrees with buffered flits %d", r.node, got, want)
 		}
 	}
 	queued := uint64(0)
@@ -767,6 +793,11 @@ func (n *Network) Reset() {
 	}
 	for i := range n.linkFlits {
 		n.linkFlits[i] = 0
+	}
+	for i := range n.telOcc {
+		n.telOcc[i] = 0
+		n.telInj[i] = 0
+		n.telEj[i] = 0
 	}
 	n.cycle, n.nextPktID = 0, 0
 	n.created, n.ejected, n.injected, n.recycled = 0, 0, 0, 0

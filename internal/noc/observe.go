@@ -123,6 +123,26 @@ func (n *Network) ActiveNodes() int {
 	return c
 }
 
+// TelemetryView exposes the network's telemetry probe counters: Occ is
+// the flits currently resident in each router's buffers, Inj/Ej the
+// cumulative flits injected by / ejected at each node since
+// construction (or Reset), and Link the cumulative flit traversals per
+// channel ID. The slices alias live network state — read them only
+// between Step calls (e.g. from a ticker phase) and never mutate or
+// retain them across a Reset. All four are maintained incrementally by
+// every engine, so reading them costs nothing beyond the loads.
+type TelemetryView struct {
+	Occ  []int32
+	Inj  []uint64
+	Ej   []uint64
+	Link []uint64
+}
+
+// Telemetry returns the live probe counters; see TelemetryView.
+func (n *Network) Telemetry() TelemetryView {
+	return TelemetryView{Occ: n.telOcc, Inj: n.telInj, Ej: n.telEj, Link: n.linkFlits}
+}
+
 // OccupancySnapshot counts the flits currently buffered per node.
 func (n *Network) OccupancySnapshot() []int {
 	out := make([]int, len(n.routers))

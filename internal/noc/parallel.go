@@ -381,6 +381,7 @@ func (n *Network) parEject(s *parShard) {
 			vc := sl % vcs
 			for budget > 0 && !p.empty(vc) && p.head(vc).Pkt.Dst == r.node {
 				f := n.inPop(&s.wl, node, r, p, vc)
+				n.telEj[node]++
 				budget--
 				s.moved = true
 				f.Pkt.recv++
@@ -531,6 +532,7 @@ func (n *Network) parInject(s *parShard) {
 			f.VC = q.route.vc
 			f.lastMove = n.cycle + 1
 			n.outPush(&s.wl, node, r, q.route.port, q.route.vc, f)
+			n.telInj[node]++
 			s.moved = true
 			q.nextSeq++
 			budget--

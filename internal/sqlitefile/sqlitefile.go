@@ -1,0 +1,410 @@
+// Package sqlitefile writes single-file SQLite databases from scratch —
+// no driver, no cgo, no dependency. It implements just enough of the
+// file format (https://sqlite.org/fileformat2.html) for an archival
+// result store: rowid tables with NULL/integer/real/text columns,
+// written once and then queried with any stock sqlite3.
+//
+// The writer accumulates rows in memory and emits the complete
+// database on WriteTo: page 1 holds the header and the sqlite_master
+// b-tree, each table becomes a rowid b-tree of leaf pages with
+// interior pages layered on top as needed. Byte output is a pure
+// function of the tables and rows appended, so equal campaigns produce
+// byte-identical archives.
+//
+// Limits (checked, not silent): a single row's encoded record must fit
+// in one leaf page (no overflow chains) — comfortably thousands of
+// numeric columns — and the schema must fit on page 1.
+package sqlitefile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+const (
+	pageSize = 4096
+	// maxLocal is the largest leaf-cell payload stored without
+	// overflow pages: usable - 35 per the format spec.
+	maxLocal = pageSize - 35
+
+	leafPage     = 13
+	interiorPage = 5
+)
+
+// DB is an in-memory SQLite database being assembled.
+type DB struct {
+	tables []*Table
+}
+
+// Table is one rowid table; append rows in the order they should get
+// rowids 1..n.
+type Table struct {
+	name string
+	sql  string
+	cols int
+	rows [][]byte // encoded record payloads
+	err  error
+}
+
+// New returns an empty database.
+func New() *DB { return &DB{} }
+
+// CreateTable registers a table. sql is the complete CREATE TABLE
+// statement stored in sqlite_master (sqlite parses it to name the
+// columns); cols is the column count every appended row must match.
+func (d *DB) CreateTable(name, sql string, cols int) *Table {
+	t := &Table{name: name, sql: sql, cols: cols}
+	d.tables = append(d.tables, t)
+	return t
+}
+
+// Append adds one row. Supported values: nil, bool, int, int64,
+// uint64, float64, string, []byte. The first error sticks and
+// surfaces from DB.WriteTo.
+func (t *Table) Append(vals ...any) {
+	if t.err != nil {
+		return
+	}
+	if len(vals) != t.cols {
+		t.err = fmt.Errorf("sqlitefile: table %s: row has %d values, want %d", t.name, len(vals), t.cols)
+		return
+	}
+	rec, err := encodeRecord(vals)
+	if err != nil {
+		t.err = fmt.Errorf("sqlitefile: table %s: %w", t.name, err)
+		return
+	}
+	if len(rec) > maxLocal {
+		t.err = fmt.Errorf("sqlitefile: table %s: %d-byte row exceeds single-page payload %d", t.name, len(rec), maxLocal)
+		return
+	}
+	t.rows = append(t.rows, rec)
+}
+
+// WriteFile writes the database to path (truncating).
+func (d *DB) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := d.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteTo assembles the database and writes it to w (io.WriterTo).
+func (d *DB) WriteTo(w io.Writer) (int64, error) {
+	for _, t := range d.tables {
+		if t.err != nil {
+			return 0, t.err
+		}
+	}
+	// Build every data table's b-tree, then number pages: the schema
+	// root is page 1, data pages follow in table order (leaves first,
+	// root last within each table).
+	next := 2
+	roots := make([]int, len(d.tables))
+	var pages []*page // data pages in page-number order, starting at 2
+	for i, t := range d.tables {
+		tp := buildTree(t.rows)
+		for _, p := range tp {
+			p.number = next
+			next++
+		}
+		roots[i] = tp[len(tp)-1].number // buildTree returns root last
+		// Emit in number order (assignment order).
+		pages = append(pages, tp...)
+	}
+	// sqlite_master: one row per table.
+	schemaRows := make([][]byte, len(d.tables))
+	for i, t := range d.tables {
+		rec, err := encodeRecord([]any{"table", t.name, t.name, int64(roots[i]), t.sql})
+		if err != nil {
+			return 0, err
+		}
+		schemaRows[i] = rec
+	}
+	schema := buildTree(schemaRows)
+	if len(schema) != 1 {
+		return 0, fmt.Errorf("sqlitefile: %d tables overflow the page-1 schema", len(d.tables))
+	}
+	schema[0].number = 1
+
+	npages := next - 1
+	buf := make([]byte, pageSize*npages)
+	writeHeader(buf, npages)
+	schema[0].serialize(buf[:pageSize], 100)
+	for _, p := range pages {
+		off := (p.number - 1) * pageSize
+		p.serialize(buf[off:off+pageSize], 0)
+	}
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// page is one b-tree page under construction. Leaves carry fully
+// encoded cells; interiors carry child references resolved to page
+// numbers just before serialization.
+type page struct {
+	leaf     bool
+	cells    [][]byte // leaf: varint(len) varint(rowid) payload
+	children []*page  // interior: cell children + rightmost (last)
+	keys     []uint64 // interior: max rowid per child
+	maxRowid uint64
+	number   int
+}
+
+// buildTree packs rows into leaves (rowids 1..n) and layers interior
+// pages until a single root remains. The root is the LAST page of the
+// returned slice; all child links are by *page, resolved to numbers
+// later.
+func buildTree(rows [][]byte) []*page {
+	var all, level []*page
+	var scratch [20]byte
+	cur := &page{leaf: true}
+	free := pageSize - 8
+	for i, rec := range rows {
+		rowid := uint64(i + 1)
+		n := putVarint(scratch[:], uint64(len(rec)))
+		n += putVarint(scratch[n:], rowid)
+		cell := make([]byte, n+len(rec))
+		copy(cell, scratch[:n])
+		copy(cell[n:], rec)
+		if cost := len(cell) + 2; cost > free {
+			all = append(all, cur)
+			level = append(level, cur)
+			cur = &page{leaf: true}
+			free = pageSize - 8
+		}
+		cur.cells = append(cur.cells, cell)
+		cur.maxRowid = rowid
+		free -= len(cell) + 2
+	}
+	all = append(all, cur) // empty table => one empty leaf root
+	level = append(level, cur)
+	for len(level) > 1 {
+		var parents []*page
+		p := &page{}
+		// Conservative per-child cost: 2-byte pointer + 4-byte child
+		// page + up-to-9-byte key varint.
+		const childCost = 2 + 4 + 9
+		free := pageSize - 12
+		for _, ch := range level {
+			if childCost > free && len(p.children) > 0 {
+				parents = append(parents, p)
+				p = &page{}
+				free = pageSize - 12
+			}
+			p.children = append(p.children, ch)
+			p.keys = append(p.keys, ch.maxRowid)
+			p.maxRowid = ch.maxRowid
+			free -= childCost
+		}
+		parents = append(parents, p)
+		all = append(all, parents...)
+		level = parents
+	}
+	return all
+}
+
+// serialize renders the page into buf (one full page) with the b-tree
+// header at hdrOff (100 on page 1, 0 elsewhere).
+func (p *page) serialize(buf []byte, hdrOff int) {
+	hdrLen := 8
+	typ := byte(leafPage)
+	ncells := len(p.cells)
+	if !p.leaf {
+		hdrLen = 12
+		typ = interiorPage
+		ncells = len(p.children) - 1
+	}
+	// Interior cells: 4-byte child page + varint key, for all children
+	// but the last (which becomes the rightmost pointer).
+	cells := p.cells
+	if !p.leaf {
+		cells = make([][]byte, ncells)
+		for i := 0; i < ncells; i++ {
+			var c [13]byte
+			binary.BigEndian.PutUint32(c[:4], uint32(p.children[i].number))
+			n := 4 + putVarint(c[4:], p.keys[i])
+			cells[i] = append([]byte(nil), c[:n]...)
+		}
+	}
+	total := 0
+	for _, c := range cells {
+		total += len(c)
+	}
+	content := pageSize - total
+	buf[hdrOff] = typ
+	binary.BigEndian.PutUint16(buf[hdrOff+3:], uint16(ncells))
+	binary.BigEndian.PutUint16(buf[hdrOff+5:], uint16(content))
+	if !p.leaf {
+		binary.BigEndian.PutUint32(buf[hdrOff+8:], uint32(p.children[len(p.children)-1].number))
+	}
+	ptr := hdrOff + hdrLen
+	off := content
+	for _, c := range cells {
+		binary.BigEndian.PutUint16(buf[ptr:], uint16(off))
+		copy(buf[off:], c)
+		ptr += 2
+		off += len(c)
+	}
+}
+
+// writeHeader fills the 100-byte database header on page 1.
+func writeHeader(buf []byte, npages int) {
+	copy(buf, "SQLite format 3\x00")
+	binary.BigEndian.PutUint16(buf[16:], pageSize)
+	buf[18], buf[19] = 1, 1 // legacy (rollback journal) versions
+	buf[21], buf[22], buf[23] = 64, 32, 32
+	binary.BigEndian.PutUint32(buf[24:], 1) // change counter
+	binary.BigEndian.PutUint32(buf[28:], uint32(npages))
+	binary.BigEndian.PutUint32(buf[40:], 1) // schema cookie
+	binary.BigEndian.PutUint32(buf[44:], 4) // schema format (allows serial types 8/9)
+	binary.BigEndian.PutUint32(buf[56:], 1) // UTF-8
+	binary.BigEndian.PutUint32(buf[92:], 1) // version-valid-for = change counter
+	binary.BigEndian.PutUint32(buf[96:], 3045000)
+}
+
+// encodeRecord renders one row in the record format: a header of
+// serial-type varints (prefixed by its own length) followed by the
+// column bodies.
+func encodeRecord(vals []any) ([]byte, error) {
+	type col struct {
+		serial uint64
+		body   []byte
+	}
+	cols := make([]col, len(vals))
+	var scratch [8]byte
+	for i, v := range vals {
+		switch x := v.(type) {
+		case nil:
+			cols[i] = col{serial: 0}
+		case bool:
+			if x {
+				cols[i] = col{serial: 9}
+			} else {
+				cols[i] = col{serial: 8}
+			}
+		case int:
+			cols[i] = intCol(int64(x))
+		case int64:
+			cols[i] = intCol(x)
+		case uint64:
+			if x > math.MaxInt64 {
+				return nil, fmt.Errorf("integer %d overflows SQLite integers", x)
+			}
+			cols[i] = intCol(int64(x))
+		case float64:
+			binary.BigEndian.PutUint64(scratch[:], math.Float64bits(x))
+			cols[i] = col{serial: 7, body: append([]byte(nil), scratch[:]...)}
+		case string:
+			cols[i] = col{serial: 13 + 2*uint64(len(x)), body: []byte(x)}
+		case []byte:
+			cols[i] = col{serial: 12 + 2*uint64(len(x)), body: append([]byte(nil), x...)}
+		default:
+			return nil, fmt.Errorf("unsupported column type %T", v)
+		}
+	}
+	// The header length varint includes itself, so solve
+	// hdrLen = varintLen(hdrLen) + serialLen by iteration (converges
+	// in at most two steps: growing hdrLen can only grow its varint).
+	serialLen := 0
+	for _, c := range cols {
+		serialLen += varintLen(c.serial)
+	}
+	hdrLen := serialLen + 1
+	for varintLen(uint64(hdrLen))+serialLen != hdrLen {
+		hdrLen = varintLen(uint64(hdrLen)) + serialLen
+	}
+	out := make([]byte, 0, hdrLen+64)
+	var tmp [10]byte
+	out = append(out, tmp[:putVarint(tmp[:], uint64(hdrLen))]...)
+	for _, c := range cols {
+		out = append(out, tmp[:putVarint(tmp[:], c.serial)]...)
+	}
+	for _, c := range cols {
+		out = append(out, c.body...)
+	}
+	return out, nil
+}
+
+// intCol picks the smallest integer serial type holding v.
+func intCol(v int64) (c struct {
+	serial uint64
+	body   []byte
+}) {
+	switch {
+	case v == 0:
+		c.serial = 8
+		return
+	case v == 1:
+		c.serial = 9
+		return
+	}
+	var size int
+	switch {
+	case v >= math.MinInt8 && v <= math.MaxInt8:
+		c.serial, size = 1, 1
+	case v >= math.MinInt16 && v <= math.MaxInt16:
+		c.serial, size = 2, 2
+	case v >= -(1<<23) && v < 1<<23:
+		c.serial, size = 3, 3
+	case v >= math.MinInt32 && v <= math.MaxInt32:
+		c.serial, size = 4, 4
+	case v >= -(1<<47) && v < 1<<47:
+		c.serial, size = 5, 6
+	default:
+		c.serial, size = 6, 8
+	}
+	c.body = make([]byte, size)
+	for i := size - 1; i >= 0; i-- {
+		c.body[i] = byte(v)
+		v >>= 8
+	}
+	return
+}
+
+// putVarint writes a SQLite big-endian varint (1-9 bytes) and returns
+// its length. Values needing the 9-byte form do not occur here (keys
+// and payload lengths are far below 2^56) but are handled anyway.
+func putVarint(b []byte, v uint64) int {
+	if v <= 0x7f {
+		b[0] = byte(v)
+		return 1
+	}
+	if v > 0x00ffffffffffffff {
+		b[8] = byte(v)
+		v >>= 8
+		for i := 7; i >= 0; i-- {
+			b[i] = byte(v&0x7f) | 0x80
+			v >>= 7
+		}
+		return 9
+	}
+	var tmp [8]byte
+	n := 0
+	for v > 0 {
+		tmp[n] = byte(v & 0x7f)
+		v >>= 7
+		n++
+	}
+	for i := 0; i < n; i++ {
+		c := tmp[n-1-i]
+		if i != n-1 {
+			c |= 0x80
+		}
+		b[i] = c
+	}
+	return n
+}
+
+func varintLen(v uint64) int {
+	var b [10]byte
+	return putVarint(b[:], v)
+}

@@ -1,0 +1,138 @@
+package sqlitefile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestVarint(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want []byte
+	}{
+		{0, []byte{0x00}},
+		{0x7f, []byte{0x7f}},
+		{0x80, []byte{0x81, 0x00}},
+		{0x3fff, []byte{0xff, 0x7f}},
+		{0x4000, []byte{0x81, 0x80, 0x00}},
+	}
+	var b [10]byte
+	for _, c := range cases {
+		n := putVarint(b[:], c.v)
+		if !bytes.Equal(b[:n], c.want) {
+			t.Errorf("putVarint(%#x) = % x, want % x", c.v, b[:n], c.want)
+		}
+	}
+	if n := putVarint(b[:], 1<<60); n != 9 {
+		t.Errorf("putVarint(1<<60) used %d bytes, want 9", n)
+	}
+}
+
+func TestHeaderAndStructure(t *testing.T) {
+	db := New()
+	tab := db.CreateTable("t", "CREATE TABLE t(a INTEGER, b REAL, c TEXT)", 3)
+	tab.Append(int64(1), 2.5, "three")
+	tab.Append(nil, 0.0, "")
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if len(raw)%pageSize != 0 {
+		t.Fatalf("file size %d not page aligned", len(raw))
+	}
+	if !bytes.HasPrefix(raw, []byte("SQLite format 3\x00")) {
+		t.Fatal("missing magic header")
+	}
+	if got := binary.BigEndian.Uint32(raw[28:]); int(got)*pageSize != len(raw) {
+		t.Fatalf("header page count %d, file has %d pages", got, len(raw)/pageSize)
+	}
+	if raw[100] != leafPage {
+		t.Fatalf("page 1 b-tree type %d, want leaf %d", raw[100], leafPage)
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	build := func() []byte {
+		db := New()
+		tab := db.CreateTable("runs", "CREATE TABLE runs(x INTEGER, y REAL)", 2)
+		for i := 0; i < 5000; i++ { // forces interior pages
+			tab.Append(int64(i), float64(i)*0.5)
+		}
+		var buf bytes.Buffer
+		if _, err := db.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Fatal("two identical builds produced different bytes")
+	}
+}
+
+func TestErrorsStick(t *testing.T) {
+	db := New()
+	tab := db.CreateTable("t", "CREATE TABLE t(a)", 1)
+	tab.Append(1, 2) // wrong arity
+	tab.Append(3)
+	if _, err := db.WriteTo(&bytes.Buffer{}); err == nil {
+		t.Fatal("arity error not surfaced")
+	}
+	db2 := New()
+	tab2 := db2.CreateTable("t", "CREATE TABLE t(a)", 1)
+	tab2.Append(struct{}{})
+	if _, err := db2.WriteTo(&bytes.Buffer{}); err == nil {
+		t.Fatal("unsupported type not surfaced")
+	}
+}
+
+// TestSQLite3Readable round-trips a multi-page database through the
+// real sqlite3 shell when one is on PATH (integrity check + queries).
+func TestSQLite3Readable(t *testing.T) {
+	bin, err := exec.LookPath("sqlite3")
+	if err != nil {
+		t.Skip("sqlite3 CLI not available")
+	}
+	db := New()
+	runs := db.CreateTable("runs",
+		"CREATE TABLE runs(topo TEXT, nodes INTEGER, rate REAL, note TEXT)", 4)
+	n := 3000 // several leaf pages + an interior level
+	var wantSum int64
+	for i := 0; i < n; i++ {
+		runs.Append("mesh", int64(i), float64(i)/8, fmt.Sprintf("row-%d", i))
+		wantSum += int64(i)
+	}
+	empty := db.CreateTable("empty", "CREATE TABLE empty(a INTEGER)", 1)
+	_ = empty
+	path := filepath.Join(t.TempDir(), "t.db")
+	if err := db.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	query := func(sql string) string {
+		out, err := exec.Command(bin, path, sql).CombinedOutput()
+		if err != nil {
+			t.Fatalf("sqlite3 %q: %v\n%s", sql, err, out)
+		}
+		return strings.TrimSpace(string(out))
+	}
+	if got := query("PRAGMA integrity_check;"); got != "ok" {
+		t.Fatalf("integrity_check = %q", got)
+	}
+	if got := query("SELECT count(*), sum(nodes) FROM runs;"); got != fmt.Sprintf("%d|%d", n, wantSum) {
+		t.Fatalf("count/sum = %q", got)
+	}
+	if got := query("SELECT note FROM runs WHERE nodes = 2999;"); got != "row-2999" {
+		t.Fatalf("point query = %q", got)
+	}
+	if got := query("SELECT count(*) FROM empty;"); got != "0" {
+		t.Fatalf("empty table count = %q", got)
+	}
+	if got := query("SELECT rate FROM runs WHERE nodes = 4;"); got != "0.5" {
+		t.Fatalf("real column = %q", got)
+	}
+}

@@ -1,0 +1,17 @@
+package telemetry
+
+import "io"
+
+// Options asks a run to capture per-cycle telemetry. It travels on
+// core.Scenario but — like the Engine and StepParallel knobs — is
+// excluded from the cache key and from serialization: capture observes
+// a run, it never changes the result.
+type Options struct {
+	// W receives the encoded stream. Nil disables capture.
+	W io.Writer
+	// ChunkLen overrides the samples-per-chunk (DefaultChunkLen if 0).
+	ChunkLen int
+	// Stats, when non-nil, is filled with the recorder's final
+	// counters after the capture is flushed at run end.
+	Stats *Stats
+}
