@@ -6,7 +6,7 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: all build test vet lint fmt fmt-check cover bench bench-check bench-alloc bench-baseline bench-speedup race-parallel telemetry-check ci
+.PHONY: all build test vet lint fmt fmt-check cover bench bench-check bench-alloc bench-baseline bench-speedup race-parallel golden-gogcoff telemetry-check ci
 
 all: build
 
@@ -74,6 +74,16 @@ bench-baseline:
 bench-speedup:
 	set -o pipefail; $(GO) test -json -bench='PerfGate/knee-parallel' -benchtime=1x -run='^$$' . | tee bench-speedup.json
 
+# golden-gogcoff re-runs the cross-engine golden matrix's knee points
+# (every topology and switching mode at the near-saturation load) with
+# the garbage collector disabled. The handle-based arena keeps freed
+# packet records reachable from live slices, so a use-after-recycle
+# that GC timing might otherwise mask (or crash on) instead shows up
+# as an engine divergence here, where nothing is ever collected or
+# moved for the whole run.
+golden-gogcoff:
+	GOGC=off $(GO) test -count=1 -run 'TestGoldenCrossEngineMatrix/.*/knee' ./internal/core/
+
 # race-parallel runs the parallel-engine golden/fuzz suites under the
 # race detector with their bounded cycle counts — the determinism AND
 # memory-model proof of the domain-decomposed Step.
@@ -97,4 +107,4 @@ telemetry-check:
 # against the same baseline, with -benchmem columns added for free.
 # cover re-runs the race suite with -coverprofile, exactly as CI's
 # coverage step does.
-ci: build vet lint fmt-check cover race-parallel telemetry-check bench bench-alloc bench-speedup
+ci: build vet lint fmt-check cover race-parallel golden-gogcoff telemetry-check bench bench-alloc bench-speedup

@@ -372,6 +372,13 @@ func BenchmarkPerfGate(b *testing.B) {
 			cycles := float64(s.Warmup + s.Measure + 1)
 			b.ReportMetric(float64(perf.RouterVisits)/cycles, "visits/cycle")
 			b.ReportMetric((cycles-float64(perf.SkippedCycles))/cycles, "ticked-frac")
+			// Live simulation-state footprint per router at end of run:
+			// arena records and stamps at the population high-water mark
+			// plus buffer/mask/queue residency. Length-based, so exactly
+			// reproducible across hosts and Go versions — gated like the
+			// work counters, pinning the compactness of the handle-based
+			// arena layout.
+			b.ReportMetric(float64(perf.LiveStateBytes)/float64(s.Nodes), "live-bytes/router")
 			if s.Telemetry != nil {
 				b.ReportMetric(float64(telStats.Bytes)/cycles, "telemetry-bytes/cycle")
 			}
@@ -432,6 +439,14 @@ func BenchmarkPerfGate(b *testing.B) {
 				parDur := best(&ws, s)
 				b.ReportMetric(float64(load.shards), "shards")
 				b.ReportMetric(serialDur.Seconds()/parDur.Seconds(), "speedup")
+				// Raw best-of-3 wall times plus the host parallelism that
+				// produced them, so bench-speedup.json archives enough to
+				// interpret the speedup figure (and to diff wall-time
+				// across commits on the same runner). All report-only.
+				b.ReportMetric(float64(serialDur.Nanoseconds()), "serial-wall-ns")
+				b.ReportMetric(float64(parDur.Nanoseconds()), "parallel-wall-ns")
+				b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+				b.ReportMetric(float64(runtime.NumCPU()), "numcpu")
 			}
 		})
 	}

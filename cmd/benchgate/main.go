@@ -25,8 +25,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -181,34 +183,77 @@ func main() {
 		return
 	}
 
+	results := make([]result, 0, len(base.Entries))
 	failed := 0
 	for _, e := range base.Entries {
 		tol := e.Tolerance
 		if tol <= 0 {
 			tol = base.Tolerance
 		}
-		v, ok := got[e.Bench+"\x00"+e.Metric]
-		switch {
-		case !ok:
-			fmt.Printf("FAIL %-28s %-14s missing from the bench run\n", e.Bench, e.Metric)
-			failed++
-		case v > e.Value*(1+tol):
-			fmt.Printf("FAIL %-28s %-14s %.6g exceeds baseline %.6g by more than %.0f%%\n",
-				e.Bench, e.Metric, v, e.Value, tol*100)
-			failed++
-		case v < e.Value*(1-tol):
-			fmt.Printf("ok   %-28s %-14s %.6g improved past baseline %.6g — consider -update\n",
-				e.Bench, e.Metric, v, e.Value)
-		default:
-			fmt.Printf("ok   %-28s %-14s %.6g (baseline %.6g, tolerance %.0f%%)\n",
-				e.Bench, e.Metric, v, e.Value, tol*100)
+		r := result{entry: e, tol: tol}
+		if v, ok := got[e.Bench+"\x00"+e.Metric]; !ok {
+			r.missing, r.failed = true, true
+			r.delta = math.Inf(1)
+		} else {
+			r.measured = v
+			if e.Value != 0 {
+				r.delta = v/e.Value - 1
+			}
+			r.failed = v > e.Value*(1+tol)
 		}
+		if r.failed {
+			failed++
+		}
+		results = append(results, r)
 	}
-	if failed > 0 {
-		fmt.Printf("benchgate: %d metric(s) regressed\n", failed)
-		os.Exit(1)
+
+	if failed == 0 {
+		for _, r := range results {
+			if r.measured < r.entry.Value*(1-r.tol) {
+				fmt.Printf("ok   %-28s %-14s %.6g improved past baseline %.6g — consider -update\n",
+					r.entry.Bench, r.entry.Metric, r.measured, r.entry.Value)
+				continue
+			}
+			fmt.Printf("ok   %-28s %-14s %.6g (baseline %.6g, tolerance %.0f%%)\n",
+				r.entry.Bench, r.entry.Metric, r.measured, r.entry.Value, r.tol*100)
+		}
+		fmt.Printf("benchgate: %d metric(s) within tolerance\n", len(base.Entries))
+		return
 	}
-	fmt.Printf("benchgate: %d metric(s) within tolerance\n", len(base.Entries))
+
+	// On failure, print every gated metric as a table sorted worst
+	// first by relative delta, so the triage view shows at a glance
+	// which counters moved together (one regressed scenario) versus a
+	// single metric drifting on its own.
+	sort.SliceStable(results, func(i, j int) bool { return results[i].delta > results[j].delta })
+	fmt.Printf("%-4s %-28s %-20s %14s %14s %10s %8s\n",
+		"", "benchmark", "metric", "baseline", "measured", "delta", "tol")
+	for _, r := range results {
+		status := "ok"
+		if r.failed {
+			status = "FAIL"
+		}
+		measured, delta := fmt.Sprintf("%.6g", r.measured), fmt.Sprintf("%+.1f%%", r.delta*100)
+		if r.missing {
+			measured, delta = "missing", "—"
+		}
+		fmt.Printf("%-4s %-28s %-20s %14.6g %14s %10s %7.0f%%\n",
+			status, r.entry.Bench, r.entry.Metric, r.entry.Value, measured, delta, r.tol*100)
+	}
+	fmt.Printf("benchgate: %d metric(s) regressed\n", failed)
+	os.Exit(1)
+}
+
+// result is one gated metric's evaluation against its baseline entry.
+type result struct {
+	entry    Entry
+	tol      float64
+	measured float64
+	// delta is the relative movement vs the baseline (+ is worse; all
+	// gated metrics are lower-is-better). Missing metrics sort first.
+	delta   float64
+	missing bool
+	failed  bool
 }
 
 func fatal(err error) {

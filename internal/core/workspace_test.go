@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"gonoc/internal/noc"
+	"gonoc/internal/sim"
 )
 
 // A workspace run must be bit-identical to a fresh core.Run, across a
@@ -110,5 +111,42 @@ func TestWorkspaceReusesNetworkAcrossReplications(t *testing.T) {
 	}
 	if a, b := s.networkKey(), NewScenario(Mesh, 16, UniformTraffic, 0.05).networkKey(); a == b {
 		t.Fatal("distinct geometries share a network key")
+	}
+}
+
+// Fuzz-style reuse sequences: random walks over rate, seed, engine,
+// shard count and pooling — replayed on one workspace — must stay bit
+// for bit equal to fresh runs. The pooling flips are the packet
+// arena's hardest reuse transition (Reset must truncate the record
+// population when pooling is off and retain it when on), and the
+// engine/shard flips exercise worklist rebuilds over a recycled arena.
+func TestWorkspaceReuseRandomizedSequences(t *testing.T) {
+	master := sim.NewRNG(1234)
+	for trial := 0; trial < 4; trial++ {
+		rng := master.Split()
+		var ws Workspace
+		for step := 0; step < 6; step++ {
+			s := NewScenario(Spidergon, 16, UniformTraffic, 0.01+0.08*rng.Float64())
+			s.Warmup, s.Measure = 100, uint64(400+rng.Intn(800))
+			s.Seed = rng.Uint64()
+			s.NoPool = rng.Bernoulli(0.4)
+			switch rng.Intn(4) {
+			case 0:
+				s.Engine = noc.EngineSweep
+			case 1:
+				s.StepParallel = 1 + rng.Intn(4)
+			}
+			got, err := ws.Run(s)
+			if err != nil {
+				t.Fatalf("trial %d step %d %s [workspace]: %v", trial, step, s.Label(), err)
+			}
+			want, err := Run(s)
+			if err != nil {
+				t.Fatalf("trial %d step %d %s [fresh]: %v", trial, step, s.Label(), err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d step %d %s: workspace diverged from fresh run", trial, step, s.Label())
+			}
+		}
 	}
 }

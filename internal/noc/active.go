@@ -11,16 +11,17 @@ import (
 // as EngineSweep for cross-checking), each phase drains an incremental
 // worklist at two granularities: bitmap active sets over nodes select
 // which routers/sources a phase visits at all, and per-router
-// slot-occupancy masks (router.inOcc/ejOcc/outOcc, one bit per
-// flattened port × VC slot) select which slots a visit touches — both
-// updated exactly where flits move, so a cycle's cost is proportional
-// to in-flight work, not network size. Determinism is preserved by
-// construction: sets drain in ascending node order (the reference
-// engine's iteration order), slots in the reference round-robin order,
-// and the per-cycle round-robin pointers, which the reference engine
-// advances unconditionally once per cycle, are derived from the cycle
-// counter instead of stored, so skipping an idle router (or
-// fast-forwarding whole idle cycles via SkipTo) cannot perturb
+// slot-occupancy masks (router.inOcc/ejOcc/outOcc, one bit per strided
+// port × VC slot, see mask.go) select which slots a visit touches —
+// both updated exactly where flits move, so a cycle's cost is
+// proportional to in-flight work, not network size. Determinism is
+// preserved by construction: sets drain in ascending node order (the
+// reference engine's iteration order), ports in the reference rotated
+// order with per-port mask extraction, slots in the reference
+// round-robin order, and the per-cycle round-robin pointers, which the
+// reference engine advances unconditionally once per cycle, are derived
+// from the cycle counter instead of stored, so skipping an idle router
+// (or fast-forwarding whole idle cycles via SkipTo) cannot perturb
 // arbitration. The cross-engine golden tests assert bit-identical
 // Results against EngineSweep for every scenario class.
 
@@ -141,12 +142,12 @@ func (n *Network) markSource(src int) {
 // routers with a locally-destined head anywhere, the switch stage
 // routers with a transit head (non-empty slot whose head travels on).
 func (n *Network) refreshInSets(wl *worklists, node int, r *router) {
-	if r.ejOcc != 0 {
+	if r.ejOcc.any() {
 		wl.ej.add(node)
 	} else {
 		wl.ej.remove(node)
 	}
-	if r.inOcc&^r.ejOcc != 0 {
+	if r.inOcc.anyOutside(r.ejOcc) {
 		wl.sw.add(node)
 	} else {
 		wl.sw.remove(node)
@@ -155,58 +156,58 @@ func (n *Network) refreshInSets(wl *worklists, node int, r *router) {
 
 // inPop removes the head of p's vc slot, re-deriving the slot's
 // occupancy and head-locality bits from the newly exposed head.
-func (n *Network) inPop(wl *worklists, node int, r *router, p *inPort, vc int) *Flit {
-	f := p.pop(vc)
+func (n *Network) inPop(wl *worklists, node int, r *router, p *inPort, vc int) flitH {
+	h := p.pop(vc)
 	n.telOcc[node]--
-	bit := uint64(1) << uint(p.slotBase+vc)
+	bit := p.slotBase + vc
 	switch {
 	case p.bufs[vc].len() == 0:
-		r.inOcc &^= bit
-		r.ejOcc &^= bit
-	case p.head(vc).Pkt.Dst == r.node:
-		r.ejOcc |= bit
+		r.inOcc.clearBit(bit)
+		r.ejOcc.clearBit(bit)
+	case n.arena.dst[p.head(vc).pkt()] == int32(r.node):
+		r.ejOcc.set(bit)
 	default:
-		r.ejOcc &^= bit
+		r.ejOcc.clearBit(bit)
 	}
 	n.refreshInSets(wl, node, r)
-	return f
+	return h
 }
 
-// inPush appends f to p's vc slot of the downstream router.
-func (n *Network) inPush(wl *worklists, node int, r *router, p *inPort, vc int, f *Flit) {
+// inPush appends h to p's vc slot of the downstream router.
+func (n *Network) inPush(wl *worklists, node int, r *router, p *inPort, vc int, h flitH) {
 	wasEmpty := p.bufs[vc].len() == 0
-	p.push(vc, f)
+	p.push(vc, h)
 	n.telOcc[node]++
-	bit := uint64(1) << uint(p.slotBase+vc)
-	r.inOcc |= bit
-	if wasEmpty && f.Pkt.Dst == r.node {
-		r.ejOcc |= bit
+	bit := p.slotBase + vc
+	r.inOcc.set(bit)
+	if wasEmpty && n.arena.dst[h.pkt()] == int32(r.node) {
+		r.ejOcc.set(bit)
 	}
 	n.refreshInSets(wl, node, r)
 }
 
-// outPush appends f to the output queue (op, vc) of node's router.
-func (n *Network) outPush(wl *worklists, node int, r *router, op *outPort, vc int, f *Flit) {
-	op.vcs[vc].push(f)
+// outPush appends h to the output queue (op, vc) of node's router.
+func (n *Network) outPush(wl *worklists, node int, r *router, op *outPort, vc int, h flitH) {
+	op.vcs[vc].push(h)
 	n.telOcc[node]++
-	r.outOcc |= 1 << uint(op.slotBase+vc)
+	r.outOcc.set(op.slotBase + vc)
 	wl.out.add(node)
 }
 
 // outPop removes the head of the output queue (op, vc), retiring the
 // slot — and, when the router's last output drains, the router — from
 // the link worklist.
-func (n *Network) outPop(wl *worklists, node int, r *router, op *outPort, vc int) *Flit {
+func (n *Network) outPop(wl *worklists, node int, r *router, op *outPort, vc int) flitH {
 	v := op.vcs[vc]
-	f := v.pop()
+	h := v.pop()
 	n.telOcc[node]--
 	if v.empty() {
-		r.outOcc &^= 1 << uint(op.slotBase+vc)
-		if r.outOcc == 0 {
+		r.outOcc.clearBit(op.slotBase + vc)
+		if !r.outOcc.any() {
 			wl.out.remove(node)
 		}
 	}
-	return f
+	return h
 }
 
 // stepActive advances one cycle visiting only active routers/sources.
@@ -237,9 +238,13 @@ func (n *Network) stepActive() {
 // activeEject mirrors ejectPhase over routers holding locally-destined
 // input heads, touching only the slots whose bit is set in ejOcc.
 // rrEj is derived: the reference advances it by one every cycle for
-// every router, so during cycle c it equals c mod slots.
+// every router, so during cycle c it equals c mod slots. The rotation
+// runs over logical slot indices (port × VCs + vc, the reference
+// modulus); each maps to its strided mask bit for the occupancy test.
 func (n *Network) activeEject() {
 	vcs := n.alg.VCs()
+	a := &n.arena
+	tail := a.pktLen - 1
 	n.wl.ej.forEach(func(node int) {
 		r := n.routers[node]
 		n.visits++
@@ -255,24 +260,26 @@ func (n *Network) activeEject() {
 			if s >= slots {
 				s -= slots
 			}
-			if r.ejOcc&(1<<uint(s)) == 0 {
-				continue
-			}
 			p := r.in[s/vcs]
 			vc := s % vcs
-			for budget > 0 && !p.empty(vc) && p.head(vc).Pkt.Dst == r.node {
-				f := n.inPop(&n.wl, node, r, p, vc)
+			if !r.ejOcc.test(p.slotBase + vc) {
+				continue
+			}
+			for budget > 0 && !p.empty(vc) && a.dst[p.head(vc).pkt()] == int32(r.node) {
+				h := n.inPop(&n.wl, node, r, p, vc)
+				pi := h.pkt()
 				n.telEj[node]++
 				budget--
 				n.moved = true
-				f.Pkt.recv++
-				if f.IsTail() {
+				a.recv[pi]++
+				if h.seq() == tail {
 					n.ejected++
-					n.col.PacketEjected(n.cycle, f.Pkt.CreatedCycle, f.Pkt.InjectedCycle, f.Pkt.Len, f.Pkt.Hops)
+					n.col.PacketEjected(n.cycle, a.created[pi], a.injected[pi], a.pktLen, int(a.hops[pi]))
 					if n.onEject != nil {
-						n.onEject(f.Pkt)
+						n.materializePacket(&n.ejView, pi)
+						n.onEject(&n.ejView)
 					}
-					n.recyclePacket(f.Pkt)
+					n.recyclePacket(pi)
 				}
 			}
 		}
@@ -280,24 +287,25 @@ func (n *Network) activeEject() {
 }
 
 // activeSwitch mirrors switchPhase over routers holding transit heads,
-// visiting only the occupied transit slots (inOcc minus the locally
-// destined heads, which wait for the ejection stage) in the reference
-// port order: rotated by rrIn, derived like rrEj. The rotation is the
-// mask split at the rrIn slot boundary — high part first.
+// visiting the ports in the reference rotated order (rrIn derived like
+// rrEj) and extracting each port's transit occupancy (inOcc minus the
+// locally destined heads, which wait for the ejection stage) from the
+// strided masks in one shift; ports with no transit head are skipped.
 func (n *Network) activeSwitch() {
 	vcs := n.alg.VCs()
 	n.wl.sw.forEach(func(node int) {
 		r := n.routers[node]
 		n.visits++
-		rrIn := int(n.modTab[len(r.in)])
-		m := r.inOcc &^ r.ejOcc
-		hi := m &^ (1<<uint(rrIn*vcs) - 1)
-		for _, part := range [2]uint64{hi, m ^ hi} {
-			for part != 0 {
-				p := r.slotIn[bits.TrailingZeros64(part)]
-				occ := part >> uint(p.slotBase)
-				part &^= (1<<uint(vcs) - 1) << uint(p.slotBase)
-				n.switchPort(r, p, occ, vcs)
+		np := len(r.in)
+		rrIn := int(n.modTab[np])
+		for k := 0; k < np; k++ {
+			p := r.in[(rrIn+k)%np]
+			occ := r.inOcc.port(p.slotBase, vcs) &^ r.ejOcc.port(p.slotBase, vcs)
+			if occ == 0 {
+				continue
+			}
+			if n.switchPort(&n.wl, r, p, occ, vcs) {
+				n.moved = true
 			}
 		}
 	})
@@ -306,62 +314,68 @@ func (n *Network) activeSwitch() {
 // switchPort runs the reference per-port VC arbitration over the
 // occupied transit slots of one input port (occ holds the port's VC
 // occupancy in its low bits): first movable flit in rrVC order wins
-// the port's crossbar input for this cycle.
-func (n *Network) switchPort(r *router, p *inPort, occ uint64, vcs int) {
+// the port's crossbar input for this cycle. It maintains the masks and
+// the given worklists (the caller's shard worklists under the parallel
+// engine), and reports whether a flit moved.
+func (n *Network) switchPort(wl *worklists, r *router, p *inPort, occ uint64, vcs int) bool {
+	a := &n.arena
 	for j := 0; j < vcs; j++ {
 		inVC := (p.rrVC + j) % vcs
 		if occ&(1<<uint(inVC)) == 0 {
 			continue
 		}
-		f := p.head(inVC)
-		if f.lastMove >= n.cycle+1 {
+		h := p.head(inVC)
+		pi := h.pkt()
+		fi := a.flitIndex(h)
+		if a.lastMove[fi] >= n.cycle+1 {
 			continue // already advanced this cycle
 		}
 		entry := &p.route[inVC]
-		if f.IsHead() {
-			d := n.route(r, f.Pkt, inVC)
+		if h.seq() == 0 {
+			d := n.route(r, pi, inVC)
 			op := r.outPortByDir(d.Dir)
 			if op == nil {
-				panic(fmt.Sprintf("noc: %s chose missing direction %v at node %d for %v",
-					n.alg.Name(), d.Dir, r.node, f.Pkt))
+				panic(fmt.Sprintf("noc: %s chose missing direction %v at node %d for %s",
+					n.alg.Name(), d.Dir, r.node, n.pktString(pi)))
 			}
 			ovc := op.vcs[d.VC]
-			if !n.canAdmit(ovc, f.Pkt) {
+			if !n.canAdmit(ovc) {
 				continue // allocation denied; retry next cycle
 			}
-			ovc.owner = f.Pkt
+			ovc.owner = pi
 			*entry = routeEntry{active: true, port: op, vc: d.VC}
 		} else if !entry.active {
-			panic(fmt.Sprintf("noc: body flit %v at node %d without switching state", f, r.node))
+			panic(fmt.Sprintf("noc: body flit %s at node %d without switching state", n.flitString(h), r.node))
 		}
 		ovc := entry.port.vcs[entry.vc]
-		if ovc.owner != f.Pkt || ovc.full(n.cfg.OutBufCap) {
+		if ovc.owner != pi || ovc.full(n.cfg.OutBufCap) {
 			continue // space denied; retry next cycle
 		}
-		n.inPop(&n.wl, r.node, r, p, inVC)
-		f.VC = entry.vc
-		f.lastMove = n.cycle + 1
-		n.outPush(&n.wl, r.node, r, entry.port, entry.vc, f)
-		n.moved = true
-		if f.IsTail() {
-			ovc.owner = nil
+		n.inPop(wl, r.node, r, p, inVC)
+		h = h.withVC(entry.vc)
+		a.lastMove[fi] = n.cycle + 1
+		n.outPush(wl, r.node, r, entry.port, entry.vc, h)
+		if h.seq() == a.pktLen-1 {
+			ovc.owner = -1
 			entry.active = false
 		}
 		p.rrVC = (inVC + 1) % vcs
-		return // one flit per input port per cycle
+		return true // one flit per input port per cycle
 	}
+	return false
 }
 
 // activeInject mirrors injectPhase over sources with pending packets,
 // retiring a source once its IP memory and in-progress worm drain.
 func (n *Network) activeInject() {
+	a := &n.arena
 	n.wl.ni.forEach(func(node int) {
 		q := n.nis[node]
 		r := n.routers[node]
 		n.visits++
 		budget := n.cfg.InjectRate
 		for budget > 0 {
-			if q.sending == nil {
+			if q.sending < 0 {
 				if q.queue.len() == 0 {
 					break
 				}
@@ -370,17 +384,17 @@ func (n *Network) activeInject() {
 				q.vc = 0
 				q.route = routeEntry{}
 			}
-			pkt := q.sending
+			pi := q.sending
 			if q.nextSeq == 0 && !q.route.active {
-				d := n.route(r, pkt, 0)
+				d := n.route(r, pi, 0)
 				op := r.outPortByDir(d.Dir)
 				if op == nil {
-					panic(fmt.Sprintf("noc: %s chose missing direction %v at source %d for %v",
-						n.alg.Name(), d.Dir, node, pkt))
+					panic(fmt.Sprintf("noc: %s chose missing direction %v at source %d for %s",
+						n.alg.Name(), d.Dir, node, n.pktString(pi)))
 				}
 				ovc := op.vcs[d.VC]
-				if n.canAdmit(ovc, pkt) {
-					ovc.owner = pkt
+				if n.canAdmit(ovc) {
+					ovc.owner = pi
 					q.route = routeEntry{active: true, port: op, vc: d.VC}
 				} else {
 					n.col.SourceBlocked(n.cycle)
@@ -392,46 +406,45 @@ func (n *Network) activeInject() {
 				n.col.SourceBlocked(n.cycle)
 				break
 			}
-			f := &pkt.flits[q.nextSeq]
-			f.VC = q.route.vc
-			f.lastMove = n.cycle + 1
-			n.outPush(&n.wl, node, r, q.route.port, q.route.vc, f)
+			h := mkFlit(pi, q.nextSeq, q.route.vc)
+			a.lastMove[a.flitIndex(h)] = n.cycle + 1
+			n.outPush(&n.wl, node, r, q.route.port, q.route.vc, h)
 			n.telInj[node]++
 			n.moved = true
 			q.nextSeq++
 			budget--
-			if f.IsHead() {
-				pkt.InjectedCycle = n.cycle
+			if h.seq() == 0 {
+				a.injected[pi] = n.cycle
 				n.injected++
-				n.col.PacketInjected(n.cycle, pkt.Len)
+				n.col.PacketInjected(n.cycle, a.pktLen)
 			}
-			if f.IsTail() {
-				ovc.owner = nil
-				q.sending = nil
+			if h.seq() == a.pktLen-1 {
+				ovc.owner = -1
+				q.sending = -1
 				q.route = routeEntry{}
 			}
 		}
-		if q.sending == nil && q.queue.len() == 0 {
+		if q.sending < 0 && q.queue.len() == 0 {
 			n.wl.ni.remove(node)
 		}
 	})
 }
 
 // activeLink mirrors linkPhase over routers holding output flits,
-// visiting only the occupied output slots (port order is ascending,
-// as in the reference) and feeding the downstream routers' input
-// worklists. op.rr is derived like the other round-robin pointers.
+// visiting the output ports in the reference ascending order and
+// extracting each port's occupancy from the strided mask; empty ports
+// are skipped. op.rr is derived like the other round-robin pointers.
 func (n *Network) activeLink() {
 	vcs := n.alg.VCs()
 	rrVC := int(n.modTab[vcs]) // every port has alg.VCs() queues
 	n.wl.out.forEach(func(node int) {
 		r := n.routers[node]
 		n.visits++
-		m := r.outOcc
-		for m != 0 {
-			op := r.slotOut[bits.TrailingZeros64(m)]
-			occ := m >> uint(op.slotBase)
-			m &^= (1<<uint(vcs) - 1) << uint(op.slotBase)
+		for _, op := range r.out {
+			occ := r.outOcc.port(op.slotBase, vcs)
+			if occ == 0 {
+				continue
+			}
 			n.linkPort(node, r, op, occ, vcs, rrVC)
 		}
 	})
@@ -441,6 +454,7 @@ func (n *Network) activeLink() {
 // port's occupied queues (occ holds the port's VC occupancy in its low
 // bits): the first departable head in rr order traverses the link.
 func (n *Network) linkPort(node int, r *router, op *outPort, occ uint64, vcs, rr int) {
+	a := &n.arena
 	for k := 0; k < vcs; k++ {
 		vi := rr + k
 		if vi >= vcs {
@@ -450,8 +464,9 @@ func (n *Network) linkPort(node int, r *router, op *outPort, occ uint64, vcs, rr
 			continue
 		}
 		v := op.vcs[vi]
-		f := v.head()
-		if f.lastMove >= n.cycle+1 {
+		h := v.head()
+		fi := a.flitIndex(h)
+		if a.lastMove[fi] >= n.cycle+1 {
 			continue
 		}
 		if !n.canDepart(v) {
@@ -462,12 +477,12 @@ func (n *Network) linkPort(node int, r *router, op *outPort, occ uint64, vcs, rr
 			continue
 		}
 		n.outPop(&n.wl, node, r, op, vi)
-		f.lastMove = n.cycle + 1
-		if f.IsHead() {
-			f.Pkt.Hops++
+		a.lastMove[fi] = n.cycle + 1
+		if h.seq() == 0 {
+			a.hops[h.pkt()]++
 		}
 		n.linkFlits[op.ch.ID]++
-		n.inPush(&n.wl, op.ch.Dst, op.peerRouter, ip, vi, f)
+		n.inPush(&n.wl, op.ch.Dst, op.peerRouter, ip, vi, h)
 		n.moved = true
 		return // one flit per physical link per cycle
 	}
@@ -475,23 +490,14 @@ func (n *Network) linkPort(node int, r *router, op *outPort, occ uint64, vcs, rr
 
 // SetEngine selects the implementation behind Step. Switching is legal
 // at any point: the worklists are rebuilt from the buffers, so a
-// network mid-simulation carries its state over exactly. On the rare
-// network whose per-router slot count exceeds one mask word the
-// request for EngineActive or EngineParallel is ignored and the sweep
-// fallback stays in force (check Engine); results are identical either
-// way. Leaving EngineParallel stops its worker goroutines.
+// network mid-simulation carries its state over exactly. Leaving
+// EngineParallel stops its worker goroutines.
 func (n *Network) SetEngine(e Engine) {
 	switch e {
 	case EngineActive:
-		if !n.maskable {
-			return
-		}
 		n.StopWorkers()
 		n.rebuildActiveSets()
 	case EngineParallel:
-		if !n.maskable {
-			return
-		}
 		n.StopWorkers()
 		if n.shardCount == 0 {
 			n.shardCount = defaultShards(n.topo.Nodes())
@@ -517,32 +523,34 @@ func (n *Network) rebuildWorklists(wlFor func(node int) *worklists) {
 	n.rebuildModTab()
 	for node, r := range n.routers {
 		wl := wlFor(node)
-		r.inOcc, r.ejOcc, r.outOcc = 0, 0, 0
+		r.inOcc.zero()
+		r.ejOcc.zero()
+		r.outOcc.zero()
 		for _, p := range r.in {
 			for vc := range p.bufs {
 				if p.bufs[vc].len() == 0 {
 					continue
 				}
-				bit := uint64(1) << uint(p.slotBase+vc)
-				r.inOcc |= bit
-				if p.head(vc).Pkt.Dst == r.node {
-					r.ejOcc |= bit
+				bit := p.slotBase + vc
+				r.inOcc.set(bit)
+				if n.arena.dst[p.head(vc).pkt()] == int32(r.node) {
+					r.ejOcc.set(bit)
 				}
 			}
 		}
 		for _, op := range r.out {
 			for vc, v := range op.vcs {
 				if !v.empty() {
-					r.outOcc |= 1 << uint(op.slotBase+vc)
+					r.outOcc.set(op.slotBase + vc)
 				}
 			}
 		}
 		n.refreshInSets(wl, node, r)
-		if r.outOcc != 0 {
+		if r.outOcc.any() {
 			wl.out.add(node)
 		}
 		s := n.nis[node]
-		if s.sending != nil || s.queue.len() > 0 {
+		if s.sending >= 0 || s.queue.len() > 0 {
 			wl.ni.add(node)
 		}
 	}
@@ -578,41 +586,53 @@ func (n *Network) checkActiveInvariants() error {
 	}
 	for node, r := range n.routers {
 		wl := wlFor(node)
-		var inOcc, ejOcc, outOcc uint64
+		// Rebuild into the network-owned scratch masks: conservation
+		// runs once per replication and must stay allocation-free on a
+		// warm workspace, like the rest of the check.
+		n.invIn = resizeMask(n.invIn, len(r.in)*n.stride)
+		n.invEj = resizeMask(n.invEj, len(r.in)*n.stride)
+		n.invOut = resizeMask(n.invOut, len(r.out)*n.stride)
+		inOcc, ejOcc, outOcc := n.invIn, n.invEj, n.invOut
+		var hasEj, hasTransit bool
 		for _, p := range r.in {
 			for vc := range p.bufs {
 				if p.bufs[vc].len() == 0 {
 					continue
 				}
-				bit := uint64(1) << uint(p.slotBase+vc)
-				inOcc |= bit
-				if p.head(vc).Pkt.Dst == r.node {
-					ejOcc |= bit
+				bit := p.slotBase + vc
+				inOcc.set(bit)
+				if n.arena.dst[p.head(vc).pkt()] == int32(r.node) {
+					ejOcc.set(bit)
+					hasEj = true
+				} else {
+					hasTransit = true
 				}
 			}
 		}
+		var hasOut bool
 		for _, op := range r.out {
 			for vc, v := range op.vcs {
 				if !v.empty() {
-					outOcc |= 1 << uint(op.slotBase+vc)
+					outOcc.set(op.slotBase + vc)
+					hasOut = true
 				}
 			}
 		}
-		if inOcc != r.inOcc || ejOcc != r.ejOcc || outOcc != r.outOcc {
-			return fmt.Errorf("noc: node %d slot masks (in %b, ej %b, out %b) disagree with buffers (in %b, ej %b, out %b)",
+		if !inOcc.eq(r.inOcc) || !ejOcc.eq(r.ejOcc) || !outOcc.eq(r.outOcc) {
+			return fmt.Errorf("noc: node %d slot masks (in %v, ej %v, out %v) disagree with buffers (in %v, ej %v, out %v)",
 				node, r.inOcc, r.ejOcc, r.outOcc, inOcc, ejOcc, outOcc)
 		}
-		if ejOcc != 0 && !wl.ej.has(node) {
+		if hasEj && !wl.ej.has(node) {
 			return fmt.Errorf("noc: node %d holds ejectable flits but is off the ejection worklist", node)
 		}
-		if inOcc&^ejOcc != 0 && !wl.sw.has(node) {
+		if hasTransit && !wl.sw.has(node) {
 			return fmt.Errorf("noc: node %d holds transit flits but is off the switch worklist", node)
 		}
-		if outOcc != 0 && !wl.out.has(node) {
+		if hasOut && !wl.out.has(node) {
 			return fmt.Errorf("noc: node %d holds output flits but is off the link worklist", node)
 		}
 		s := n.nis[node]
-		if (s.sending != nil || s.queue.len() > 0) && !wl.ni.has(node) {
+		if (s.sending >= 0 || s.queue.len() > 0) && !wl.ni.has(node) {
 			return fmt.Errorf("noc: source %d has pending packets but is off the injection worklist", node)
 		}
 	}

@@ -1,31 +1,15 @@
-// Package noc is a cycle-accurate model of the wormhole-switched
-// Network-on-Chip the paper simulates in OMNeT++: packets of constant
-// flit count are injected by per-node IPs with Poisson interarrivals,
-// head flits are routed hop by hop, body flits follow the path the head
-// opened, and the paper's exact buffer architecture is reproduced —
-// one-flit input buffers per incoming link, a configurable number of
-// output queues (virtual channels) per outgoing link with three-flit
-// capacity, and a network interface whose sink consumes flits FIFO.
-//
-// The model is synchronous: Network.Step advances one clock cycle, in
-// which every flit moves at most one pipeline stage (ejection, switch
-// traversal, injection, link traversal). All arbitration is round-robin
-// and all iteration orders are fixed, so simulations are deterministic.
-//
-// Two interchangeable engines implement Step. The default
-// activity-driven engine (active.go) drains per-phase worklists —
-// bitmap active sets over routers and sources, updated exactly where
-// flits move — so a cycle costs time proportional to in-flight work
-// rather than network size, and a fully quiescent network can
-// fast-forward across idle cycles via SkipTo. EngineSweep is the
-// original scan-everything reference; the cross-engine tests prove the
-// two produce bit-identical results for every scenario class.
 package noc
 
 import "fmt"
 
-// Packet is one application message, split into Len flits for
-// transmission (the paper uses constant 6-flit packets).
+// Packet describes one application message, split into Len flits for
+// transmission (the paper uses constant 6-flit packets). Values of this
+// type are materialized views over the packet arena (see the package
+// documentation): the engine keeps packet state in struct-of-arrays
+// records and builds a Packet only at the observer boundary — the
+// OnEject callback argument and InjectPacket's return value. A view is
+// valid until the callback returns (or the next InjectPacket call);
+// copy fields out rather than retaining the pointer.
 type Packet struct {
 	// ID is unique per network, in creation order.
 	ID uint64
@@ -40,10 +24,6 @@ type Packet struct {
 	InjectedCycle uint64
 	// Hops counts link traversals of the head flit.
 	Hops int
-
-	recv  int    // flits consumed at the destination so far
-	flits []Flit // backing storage for all of the packet's flits
-	free  bool   // resident on the network's packet pool (not leased)
 }
 
 // String renders a compact identification of the packet.
@@ -53,7 +33,9 @@ func (p *Packet) String() string {
 
 // Flit is the unit of flow control: packets travel as a head flit
 // followed by body flits and a tail flit (a 1-flit packet's single flit
-// is both head and tail).
+// is both head and tail). Like Packet it is a boundary view: inside the
+// engine a flit is a packed 64-bit handle (arena.go), and this struct
+// exists for observers, tests and diagnostics.
 type Flit struct {
 	// Pkt is the packet this flit belongs to.
 	Pkt *Packet
@@ -62,8 +44,6 @@ type Flit struct {
 	// VC is the virtual-channel tag of the channel the flit currently
 	// occupies; receivers demultiplex switching state by it.
 	VC int
-
-	lastMove uint64 // cycle of the flit's last stage advance
 }
 
 // IsHead reports whether this is the packet's head flit.

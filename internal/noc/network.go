@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"gonoc/internal/routing"
@@ -22,6 +23,22 @@ type Network struct {
 	routers []*router
 	nis     []*ni
 
+	// arena holds every packet record (struct-of-arrays, see arena.go);
+	// router buffers and NI queues reference it through packed flit
+	// handles and packet indices. stride is the power-of-two spacing of
+	// ports within the slot-occupancy masks (≥ the VC count).
+	arena  packetArena
+	stride int
+
+	// ejView, injView and errView are the scratch Packet views
+	// materialized at the observer boundary: ejView for OnEject, injView
+	// for InjectPacket's return, errView for diagnostics. They are
+	// separate so a callback that injects (request/reply traffic) can
+	// still read its own packet afterwards.
+	ejView  Packet
+	injView Packet
+	errView Packet
+
 	cycle        uint64
 	nextPktID    uint64
 	created      uint64
@@ -34,11 +51,10 @@ type Network struct {
 	// parallel.go); the activity-driven worklists belong to
 	// EngineActive (the parallel engine keeps one worklists set per
 	// shard instead). The per-slot occupancy masks live on each router.
-	engine   Engine
-	maskable bool      // every router's slots fit a 64-bit mask
-	wl       worklists // EngineActive's global phase worklists
-	visits   uint64    // per-phase router/source worklist visits
-	skipped  uint64    // cycles fast-forwarded by SkipTo
+	engine  Engine
+	wl      worklists // EngineActive's global phase worklists
+	visits  uint64    // per-phase router/source worklist visits
+	skipped uint64    // cycles fast-forwarded by SkipTo
 
 	// Domain decomposition state of EngineParallel (parallel.go):
 	// shards own contiguous router ranges (shardOf is the inverse
@@ -53,14 +69,15 @@ type Network struct {
 	modDivs []int
 	modTab  []uint32
 
-	// pool is the packet/flit freelist: every fully ejected packet
-	// returns here (after the ejection observers run) and InjectPacket
-	// leases from it before allocating, so the steady state of a run —
-	// and of every following run after Reset — creates packets without
-	// touching the allocator. recycled counts returns to the pool;
-	// CheckConservation proves recycled == ejected (no leak) and that no
-	// pooled packet is still buffered (no double-free).
-	pool     []*Packet
+	// pooling selects the freelist regime of the arena: enabled, every
+	// fully ejected packet's record returns to the index stack (after
+	// the ejection observers run) and InjectPacket leases from it, so
+	// the steady state of a run — and of every following run after
+	// Reset — creates packets without touching the allocator. Disabled,
+	// the arena grows monotonically. recycled counts returns to the
+	// stack; CheckConservation proves recycled == ejected (no leak) and
+	// that no free record is still referenced by a live handle (no
+	// double-free).
 	pooling  bool
 	recycled uint64
 
@@ -77,12 +94,16 @@ type Network struct {
 	telOcc []int32
 	telInj []uint64
 	telEj  []uint64
-	// consSeen and poolSeen are the reusable scratch maps of
-	// CheckConservation: campaign replications re-verify one network per
-	// run, so the maps live here (cleared per check) instead of being
-	// reallocated every call.
-	consSeen map[uint64]bool
-	poolSeen map[*Packet]bool
+	// consScratch and poolScratch are the reusable scratch bitmaps of
+	// CheckConservation, one bit per arena record: campaign replications
+	// re-verify one network per run, so the bitmaps live here (cleared
+	// per check) instead of being reallocated every call.
+	consScratch []uint64
+	poolScratch []uint64
+	// invIn/invEj/invOut are the reusable scratch masks of the worklist
+	// invariant check (checkActiveInvariants rebuilds each router's
+	// occupancy from the buffers into these instead of allocating).
+	invIn, invEj, invOut slotMask
 	// onEject, when set, runs for every fully consumed packet.
 	onEject func(p *Packet)
 	// adaptive is non-nil when the algorithm supports congestion-aware
@@ -92,14 +113,15 @@ type Network struct {
 
 // ni is the per-node network interface: the IP-memory source queue, the
 // current outgoing worm's switching state, and packet-reassembly
-// accounting for the sink side.
+// accounting for the sink side. Queued packets are arena indices;
+// sending is -1 when no packet is mid-injection.
 type ni struct {
 	node    int
-	queue   fifo[*Packet] // IP memory, FIFO
-	sending *Packet       // packet currently being injected flit by flit
-	nextSeq int           // next flit index of sending
-	route   routeEntry    // output assignment of sending's worm
-	vc      int           // routing VC state of sending's head path start
+	queue   fifo[int32] // IP memory, FIFO, by arena index
+	sending int32       // packet currently being injected flit by flit
+	nextSeq int         // next flit index of sending
+	route   routeEntry  // output assignment of sending's worm
+	vc      int         // routing VC state of sending's head path start
 }
 
 // NewNetwork builds a network over t using algorithm a, buffer/interface
@@ -115,7 +137,17 @@ func NewNetwork(t topology.Topology, a routing.Algorithm, cfg Config, col *stats
 	if a.VCs() < 1 {
 		return nil, fmt.Errorf("noc: algorithm %s declares %d VCs", a.Name(), a.VCs())
 	}
+	if a.VCs() > MaxVCs {
+		return nil, fmt.Errorf("noc: algorithm %s declares %d VCs, handle limit is %d", a.Name(), a.VCs(), MaxVCs)
+	}
+	if cfg.PacketLen > MaxPacketLen {
+		return nil, fmt.Errorf("noc: packet length %d exceeds handle limit %d", cfg.PacketLen, MaxPacketLen)
+	}
 	n := &Network{topo: t, alg: a, cfg: cfg, col: col, pooling: true}
+	n.arena.pktLen = cfg.PacketLen
+	// Ports are spaced at the next power of two ≥ the VC count inside
+	// the slot masks, so no port's bits straddle a mask word.
+	n.stride = 1 << bits.Len(uint(a.VCs()-1))
 	n.linkFlits = make([]uint64, len(t.Channels()))
 	n.telOcc = make([]int32, t.Nodes())
 	n.telInj = make([]uint64, t.Nodes())
@@ -124,22 +156,13 @@ func NewNetwork(t topology.Topology, a routing.Algorithm, cfg Config, col *stats
 		n.adaptive = aa
 	}
 	nis := make([]ni, t.Nodes())
-	n.maskable = true
 	for v := 0; v < t.Nodes(); v++ {
-		r := newRouter(v, t, a.VCs())
-		if len(r.in)*a.VCs() > 64 || len(r.out)*a.VCs() > 64 {
-			n.maskable = false
-		}
-		n.routers = append(n.routers, r)
+		n.routers = append(n.routers, newRouter(v, t, a.VCs(), n.stride))
 		nis[v].node = v
+		nis[v].sending = -1
 		n.nis = append(n.nis, &nis[v])
 	}
 	n.wl = newWorklists(t.Nodes())
-	if !n.maskable {
-		// Degree × VC counts beyond one mask word (no paper topology
-		// comes close) fall back to the reference engine.
-		n.engine = EngineSweep
-	}
 	// Resolve each output channel's downstream port once, and register
 	// the round-robin divisors (per-router slot and port counts) with
 	// the incremental modulo table the active engine derives its
@@ -191,8 +214,10 @@ func (n *Network) Inject(src, dst int) error {
 	return err
 }
 
-// InjectPacket is Inject returning the created packet, so closed-loop
-// traffic models (request/reply) can correlate deliveries.
+// InjectPacket is Inject returning a view of the created packet, so
+// closed-loop traffic models (request/reply) can correlate deliveries.
+// The view is the network's scratch struct, overwritten by the next
+// InjectPacket call — copy fields out rather than retain the pointer.
 func (n *Network) InjectPacket(src, dst int) (*Packet, error) {
 	if src < 0 || src >= n.topo.Nodes() || dst < 0 || dst >= n.topo.Nodes() {
 		return nil, fmt.Errorf("noc: inject %d->%d out of range", src, dst)
@@ -204,106 +229,110 @@ func (n *Network) InjectPacket(src, dst int) (*Packet, error) {
 	if n.cfg.SourceQueueCap > 0 && q.queue.len() >= n.cfg.SourceQueueCap {
 		return nil, ErrSourceQueueFull
 	}
-	p := n.leasePacket(src, dst)
+	pi := n.leasePacket(src, dst)
 	n.nextPktID++
 	n.created++
-	q.queue.push(p)
+	q.queue.push(pi)
 	n.markSource(src)
-	return p, nil
+	n.materializePacket(&n.injView, pi)
+	return &n.injView, nil
 }
 
-// leasePacket draws a packet from the freelist, falling back to a fresh
-// allocation while the pool warms up (or when pooling is off). All of
-// the packet's flits share one backing array; injection hands out
-// interior pointers instead of making a fresh allocation per flit, and
-// a recycled packet reuses the array outright.
-func (n *Network) leasePacket(src, dst int) *Packet {
-	var p *Packet
-	if k := len(n.pool); n.pooling && k > 0 {
-		p = n.pool[k-1]
-		n.pool[k-1] = nil
-		n.pool = n.pool[:k-1]
-		p.free = false
-		p.InjectedCycle = 0
-		p.Hops = 0
-		p.recv = 0
+// leasePacket draws a record from the arena's free stack, falling back
+// to arena growth while the stack warms up (or always, when pooling is
+// off), and initializes it for the new packet. The flit stamps of the
+// record's lastMove window are cleared so a recycled record starts
+// indistinguishable from a fresh one.
+func (n *Network) leasePacket(src, dst int) int32 {
+	a := &n.arena
+	var pi int32
+	if k := len(a.freeStack); n.pooling && k > 0 {
+		pi = a.freeStack[k-1]
+		a.freeStack = a.freeStack[:k-1]
+		a.free[pi] = false
+		a.injected[pi] = 0
+		a.hops[pi] = 0
+		a.recv[pi] = 0
 	} else {
-		p = &Packet{flits: make([]Flit, n.cfg.PacketLen)}
+		pi = a.grow()
 	}
-	p.ID = n.nextPktID
-	p.Src, p.Dst = src, dst
-	p.Len = n.cfg.PacketLen
-	p.CreatedCycle = n.cycle
-	for i := range p.flits {
-		p.flits[i] = Flit{Pkt: p, Seq: i}
+	a.id[pi] = n.nextPktID
+	a.src[pi], a.dst[pi] = int32(src), int32(dst)
+	a.created[pi] = n.cycle
+	lm := a.lastMove[int(pi)*a.pktLen : (int(pi)+1)*a.pktLen]
+	for i := range lm {
+		lm[i] = 0
 	}
-	return p
+	return pi
 }
 
-// recyclePacket returns a fully consumed packet to the freelist. It
-// runs at tail ejection, after statistics and the OnEject observers —
-// which therefore must not retain the *Packet past their return. A
-// second recycle of the same lease is always an accounting bug and
-// panics rather than corrupting the pool.
-func (n *Network) recyclePacket(p *Packet) {
+// recyclePacket returns a fully consumed packet's record to the free
+// stack. It runs at tail ejection, after statistics and the OnEject
+// observers — which therefore must not retain the packet view past
+// their return. A second recycle of the same lease is always an
+// accounting bug and panics rather than corrupting the arena.
+func (n *Network) recyclePacket(pi int32) {
 	if !n.pooling {
 		return
 	}
-	if p.free {
-		panic(fmt.Sprintf("noc: double recycle of %v", p))
+	a := &n.arena
+	if a.free[pi] {
+		panic(fmt.Sprintf("noc: double recycle of %s", n.pktString(pi)))
 	}
-	p.free = true
+	a.free[pi] = true
 	n.recycled++
-	n.pool = append(n.pool, p)
+	a.freeStack = append(a.freeStack, pi)
 }
 
-// PoolSize returns the number of packets currently resident on the
-// freelist.
-func (n *Network) PoolSize() int { return len(n.pool) }
+// PoolSize returns the number of packet records currently resident on
+// the arena's free stack.
+func (n *Network) PoolSize() int { return len(n.arena.freeStack) }
 
-// SetPooling enables or disables the packet freelist. The default is
+// SetPooling enables or disables record recycling. The default is
 // enabled; the two modes are result-equivalent bit for bit (proven by
 // the golden pool-on/pool-off tests), so the toggle changes allocator
 // traffic, never results. It must be called before any packet exists —
 // on a freshly built or Reset network — because the conservation
-// accounting assumes one mode per run.
+// accounting assumes one regime per run. Disabling drops the arena
+// population (capacity is kept).
 func (n *Network) SetPooling(on bool) {
 	if n.created != 0 {
 		panic("noc: SetPooling on a network that already created packets")
 	}
 	n.pooling = on
 	if !on {
-		n.pool = nil
+		n.arena.truncate()
 	}
 }
 
-// Pooling reports whether the packet freelist is enabled.
+// Pooling reports whether packet-record recycling is enabled.
 func (n *Network) Pooling() bool { return n.pooling }
 
 // ErrSourceQueueFull reports an Inject refused by a bounded source queue.
 var ErrSourceQueueFull = fmt.Errorf("noc: source queue full")
 
-// route computes the next-hop decision for pkt's head at router r,
-// consulting local congestion when the algorithm is adaptive.
-func (n *Network) route(r *router, pkt *Packet, vc int) routing.Decision {
+// route computes the next-hop decision for packet pi's head at router
+// r, consulting local congestion when the algorithm is adaptive.
+func (n *Network) route(r *router, pi int32, vc int) routing.Decision {
+	dst := int(n.arena.dst[pi])
 	if n.adaptive != nil {
-		return n.adaptive.Choose(r.node, pkt.Dst, vc, congestionView{r: r, cap: n.cfg.OutBufCap})
+		return n.adaptive.Choose(r.node, dst, vc, congestionView{r: r, cap: n.cfg.OutBufCap})
 	}
-	return n.alg.Route(r.node, pkt.Dst, vc)
+	return n.alg.Route(r.node, dst, vc)
 }
 
 // canAdmit reports whether a new packet's head may be admitted to the
 // output queue: wormhole needs one free slot; cut-through and
 // store-and-forward reserve space for the whole packet, so a blocked
 // packet never straddles routers.
-func (n *Network) canAdmit(q *outVC, pkt *Packet) bool {
-	if q.owner != nil {
+func (n *Network) canAdmit(q *outVC) bool {
+	if q.owner >= 0 {
 		return false
 	}
 	if n.cfg.Switching == Wormhole {
 		return !q.full(n.cfg.OutBufCap)
 	}
-	return n.cfg.OutBufCap-q.q.len() >= pkt.Len
+	return n.cfg.OutBufCap-q.q.len() >= n.cfg.PacketLen
 }
 
 // canDepart reports whether the flit at the head of the output queue
@@ -314,11 +343,13 @@ func (n *Network) canDepart(q *outVC) bool {
 		return true
 	}
 	head := q.head()
-	if head.IsTail() {
+	tail := n.cfg.PacketLen - 1
+	if head.seq() == tail {
 		return true
 	}
-	for _, f := range q.flits()[1:] {
-		if f.Pkt == head.Pkt && f.IsTail() {
+	hp := head.pkt()
+	for _, h := range q.flits()[1:] {
+		if h.pkt() == hp && h.seq() == tail {
 			return true
 		}
 	}
@@ -371,6 +402,8 @@ func (n *Network) StepN(k int) {
 // scenarios.
 func (n *Network) ejectPhase() {
 	vcs := n.alg.VCs()
+	a := &n.arena
+	tail := a.pktLen - 1
 	for _, r := range n.routers {
 		n.visits++
 		budget := n.cfg.SinkRate
@@ -383,20 +416,22 @@ func (n *Network) ejectPhase() {
 			s := (r.rrEj + k) % slots
 			p := r.in[s/vcs]
 			vc := s % vcs
-			for budget > 0 && !p.empty(vc) && p.head(vc).Pkt.Dst == r.node {
-				f := p.pop(vc)
+			for budget > 0 && !p.empty(vc) && a.dst[p.head(vc).pkt()] == int32(r.node) {
+				h := p.pop(vc)
+				pi := h.pkt()
 				n.telOcc[r.node]--
 				n.telEj[r.node]++
 				budget--
 				n.moved = true
-				f.Pkt.recv++
-				if f.IsTail() {
+				a.recv[pi]++
+				if h.seq() == tail {
 					n.ejected++
-					n.col.PacketEjected(n.cycle, f.Pkt.CreatedCycle, f.Pkt.InjectedCycle, f.Pkt.Len, f.Pkt.Hops)
+					n.col.PacketEjected(n.cycle, a.created[pi], a.injected[pi], a.pktLen, int(a.hops[pi]))
 					if n.onEject != nil {
-						n.onEject(f.Pkt)
+						n.materializePacket(&n.ejView, pi)
+						n.onEject(&n.ejView)
 					}
-					n.recyclePacket(f.Pkt)
+					n.recyclePacket(pi)
 				}
 			}
 		}
@@ -411,6 +446,7 @@ func (n *Network) ejectPhase() {
 // shared by the port's VC slots, arbitrated round-robin).
 func (n *Network) switchPhase() {
 	vcs := n.alg.VCs()
+	a := &n.arena
 	for _, r := range n.routers {
 		n.visits++
 		np := len(r.in)
@@ -421,44 +457,46 @@ func (n *Network) switchPhase() {
 				if p.empty(inVC) {
 					continue
 				}
-				f := p.head(inVC)
-				if f.lastMove >= n.cycle+1 {
+				h := p.head(inVC)
+				pi := h.pkt()
+				fi := a.flitIndex(h)
+				if a.lastMove[fi] >= n.cycle+1 {
 					continue // already advanced this cycle
 				}
-				if f.Pkt.Dst == r.node {
+				if a.dst[pi] == int32(r.node) {
 					continue // waits for the ejection phase
 				}
 				entry := &p.route[inVC]
-				if f.IsHead() {
+				if h.seq() == 0 {
 					// Heads route afresh on every attempt (adaptive
 					// algorithms re-evaluate congestion) and commit
 					// switching state only when the output queue is won.
-					d := n.route(r, f.Pkt, inVC)
+					d := n.route(r, pi, inVC)
 					op := r.outPortByDir(d.Dir)
 					if op == nil {
-						panic(fmt.Sprintf("noc: %s chose missing direction %v at node %d for %v",
-							n.alg.Name(), d.Dir, r.node, f.Pkt))
+						panic(fmt.Sprintf("noc: %s chose missing direction %v at node %d for %s",
+							n.alg.Name(), d.Dir, r.node, n.pktString(pi)))
 					}
 					ovc := op.vcs[d.VC]
-					if !n.canAdmit(ovc, f.Pkt) {
+					if !n.canAdmit(ovc) {
 						continue // allocation denied; retry next cycle
 					}
-					ovc.owner = f.Pkt
+					ovc.owner = pi
 					*entry = routeEntry{active: true, port: op, vc: d.VC}
 				} else if !entry.active {
-					panic(fmt.Sprintf("noc: body flit %v at node %d without switching state", f, r.node))
+					panic(fmt.Sprintf("noc: body flit %s at node %d without switching state", n.flitString(h), r.node))
 				}
 				ovc := entry.port.vcs[entry.vc]
-				if ovc.owner != f.Pkt || ovc.full(n.cfg.OutBufCap) {
+				if ovc.owner != pi || ovc.full(n.cfg.OutBufCap) {
 					continue // space denied; retry next cycle
 				}
 				p.pop(inVC)
-				f.VC = entry.vc
-				f.lastMove = n.cycle + 1
-				ovc.push(f)
+				h = h.withVC(entry.vc)
+				a.lastMove[fi] = n.cycle + 1
+				ovc.push(h)
 				n.moved = true
-				if f.IsTail() {
-					ovc.owner = nil
+				if h.seq() == a.pktLen-1 {
+					ovc.owner = -1
 					entry.active = false
 				}
 				p.rrVC = (inVC + 1) % vcs
@@ -474,12 +512,13 @@ func (n *Network) switchPhase() {
 // routing decision on the head flit. A blocked ready flit is recorded
 // as a source-blocked cycle.
 func (n *Network) injectPhase() {
+	a := &n.arena
 	for node, q := range n.nis {
 		r := n.routers[node]
 		n.visits++
 		budget := n.cfg.InjectRate
 		for budget > 0 {
-			if q.sending == nil {
+			if q.sending < 0 {
 				if q.queue.len() == 0 {
 					break
 				}
@@ -488,17 +527,17 @@ func (n *Network) injectPhase() {
 				q.vc = 0
 				q.route = routeEntry{}
 			}
-			pkt := q.sending
+			pi := q.sending
 			if q.nextSeq == 0 && !q.route.active {
-				d := n.route(r, pkt, 0)
+				d := n.route(r, pi, 0)
 				op := r.outPortByDir(d.Dir)
 				if op == nil {
-					panic(fmt.Sprintf("noc: %s chose missing direction %v at source %d for %v",
-						n.alg.Name(), d.Dir, node, pkt))
+					panic(fmt.Sprintf("noc: %s chose missing direction %v at source %d for %s",
+						n.alg.Name(), d.Dir, node, n.pktString(pi)))
 				}
 				ovc := op.vcs[d.VC]
-				if n.canAdmit(ovc, pkt) {
-					ovc.owner = pkt
+				if n.canAdmit(ovc) {
+					ovc.owner = pi
 					q.route = routeEntry{active: true, port: op, vc: d.VC}
 				} else {
 					n.col.SourceBlocked(n.cycle)
@@ -510,23 +549,22 @@ func (n *Network) injectPhase() {
 				n.col.SourceBlocked(n.cycle)
 				break
 			}
-			f := &pkt.flits[q.nextSeq]
-			f.VC = q.route.vc
-			f.lastMove = n.cycle + 1
-			ovc.push(f)
+			h := mkFlit(pi, q.nextSeq, q.route.vc)
+			a.lastMove[a.flitIndex(h)] = n.cycle + 1
+			ovc.push(h)
 			n.telOcc[node]++
 			n.telInj[node]++
 			n.moved = true
 			q.nextSeq++
 			budget--
-			if f.IsHead() {
-				pkt.InjectedCycle = n.cycle
+			if h.seq() == 0 {
+				a.injected[pi] = n.cycle
 				n.injected++
-				n.col.PacketInjected(n.cycle, pkt.Len)
+				n.col.PacketInjected(n.cycle, a.pktLen)
 			}
-			if f.IsTail() {
-				ovc.owner = nil
-				q.sending = nil
+			if h.seq() == a.pktLen-1 {
+				ovc.owner = -1
+				q.sending = -1
 				q.route = routeEntry{}
 			}
 		}
@@ -538,6 +576,7 @@ func (n *Network) injectPhase() {
 // downstream per-VC input slot, provided the slot has room and the flit
 // has not already advanced this cycle.
 func (n *Network) linkPhase() {
+	a := &n.arena
 	for _, r := range n.routers {
 		n.visits++
 		for _, op := range r.out {
@@ -549,8 +588,9 @@ func (n *Network) linkPhase() {
 				if v.empty() {
 					continue
 				}
-				f := v.head()
-				if f.lastMove >= n.cycle+1 {
+				h := v.head()
+				fi := a.flitIndex(h)
+				if a.lastMove[fi] >= n.cycle+1 {
 					continue
 				}
 				if !n.canDepart(v) {
@@ -562,12 +602,12 @@ func (n *Network) linkPhase() {
 				}
 				v.pop()
 				n.telOcc[r.node]--
-				f.lastMove = n.cycle + 1
-				if f.IsHead() {
-					f.Pkt.Hops++
+				a.lastMove[fi] = n.cycle + 1
+				if h.seq() == 0 {
+					a.hops[h.pkt()]++
 				}
 				n.linkFlits[op.ch.ID]++
-				ip.push(vi, f)
+				ip.push(vi, h)
 				n.telOcc[op.ch.Dst]++
 				n.moved = true
 				sent = true
@@ -593,7 +633,7 @@ func (n *Network) QueuedPackets() int {
 	q := 0
 	for _, s := range n.nis {
 		q += s.queue.len()
-		if s.sending != nil {
+		if s.sending >= 0 {
 			q++
 		}
 	}
@@ -624,43 +664,69 @@ func (n *Network) IdleCycles() uint64 {
 // flit counts match packet bookkeeping. Under the active engine it
 // additionally proves the worklist bookkeeping: every buffered flit and
 // pending packet is reachable from its phase's active set (a flit off
-// its worklist would be stranded forever). With pooling enabled it also
-// proves the freelist accounting: every fully ejected packet was
-// recycled exactly once (no leak), the pool holds only distinct packets
-// marked free, and no live buffer or queue references a pooled packet
-// (no double-free). It returns nil when consistent.
+// its worklist would be stranded forever). The arena invariants are
+// proven alongside: every buffered handle is valid (packet index in
+// range, seq within the packet, VC within the algorithm's range), no
+// live handle references a free record, and — with pooling enabled —
+// the free stack holds distinct free-marked records that tile the arena
+// exactly with the live population (arena == free + created − ejected);
+// without pooling the arena must have grown monotonically (one record
+// per created packet, empty free stack). It returns nil when
+// consistent.
 func (n *Network) CheckConservation() error {
+	// Structural handle validity comes first: every later check (the
+	// worklist invariant rebuild in particular) dereferences arena
+	// fields through buffered handles, so a corrupt word must surface
+	// as a diagnostic here rather than an out-of-range panic there.
+	if err := n.checkHandles(); err != nil {
+		return err
+	}
 	if err := n.checkActiveInvariants(); err != nil {
 		return err
 	}
+	a := &n.arena
 	inFlight := uint64(0)
 	for _, s := range n.nis {
-		if s.sending != nil {
+		if s.sending >= 0 {
 			inFlight++ // partially injected packet
 		}
 	}
 	// Count distinct packets with flits in buffers that are fully
 	// injected but not ejected. Walk buffers and collect into the
-	// network-owned scratch map (conservation runs once per replication;
-	// reusing the map keeps the check allocation-free on a warm
-	// workspace).
-	if n.consSeen == nil {
-		n.consSeen = make(map[uint64]bool)
+	// network-owned scratch bitmap over arena indices (conservation runs
+	// once per replication; reusing it keeps the check allocation-free
+	// on a warm workspace).
+	words := (a.len() + 63) / 64
+	if cap(n.consScratch) < words {
+		n.consScratch = make([]uint64, words)
 	}
-	clear(n.consSeen)
-	seen := n.consSeen
-	note := func(f *Flit) error {
-		if f.Pkt.free {
-			return fmt.Errorf("noc: pooled packet %v still buffered (double free)", f.Pkt)
+	n.consScratch = n.consScratch[:words]
+	for i := range n.consScratch {
+		n.consScratch[i] = 0
+	}
+	seen := n.consScratch
+	distinct := uint64(0)
+	vcs := n.alg.VCs()
+	note := func(h flitH) error {
+		pi := h.pkt()
+		if pi < 0 || int(pi) >= a.len() || h.seq() >= a.pktLen || h.vc() >= vcs {
+			return fmt.Errorf("noc: invalid flit handle %#x buffered (arena %d records, packet len %d, %d VCs)",
+				uint64(h), a.len(), a.pktLen, vcs)
 		}
-		seen[f.Pkt.ID] = true
+		if a.free[pi] {
+			return fmt.Errorf("noc: pooled packet %s still buffered (double free)", n.pktString(pi))
+		}
+		if w, b := pi>>6, uint(pi)&63; seen[w]&(1<<b) == 0 {
+			seen[w] |= 1 << b
+			distinct++
+		}
 		return nil
 	}
 	for _, r := range n.routers {
 		for _, p := range r.in {
 			for i := range p.bufs {
-				for _, f := range p.bufs[i].live() {
-					if err := note(f); err != nil {
+				for _, h := range p.bufs[i].live() {
+					if err := note(h); err != nil {
 						return err
 					}
 				}
@@ -668,8 +734,8 @@ func (n *Network) CheckConservation() error {
 		}
 		for _, op := range r.out {
 			for _, v := range op.vcs {
-				for _, f := range v.flits() {
-					if err := note(f); err != nil {
+				for _, h := range v.flits() {
+					if err := note(h); err != nil {
 						return err
 					}
 				}
@@ -685,19 +751,23 @@ func (n *Network) CheckConservation() error {
 	queued := uint64(0)
 	for _, s := range n.nis {
 		queued += uint64(s.queue.len())
-		for _, p := range s.queue.live() {
-			if p.free {
-				return fmt.Errorf("noc: pooled packet %v still queued at source %d (double free)", p, s.node)
+		for _, pi := range s.queue.live() {
+			if a.free[pi] {
+				return fmt.Errorf("noc: pooled packet %s still queued at source %d (double free)", n.pktString(pi), s.node)
 			}
 		}
-		if s.sending != nil {
-			if s.sending.free {
-				return fmt.Errorf("noc: pooled packet %v mid-injection at source %d (double free)", s.sending, s.node)
+		if s.sending >= 0 {
+			if a.free[s.sending] {
+				return fmt.Errorf("noc: pooled packet %s mid-injection at source %d (double free)", n.pktString(s.sending), s.node)
 			}
-			delete(seen, s.sending.ID) // counted as sending already
+			// Counted as sending already; drop its buffered-flit mark.
+			if w, b := s.sending>>6, uint(s.sending)&63; seen[w]&(1<<b) != 0 {
+				seen[w] &^= 1 << b
+				distinct--
+			}
 		}
 	}
-	netResident := uint64(len(seen)) + inFlight
+	netResident := distinct + inFlight
 	total := queued + netResident + n.ejected
 	if total < n.created {
 		return fmt.Errorf("noc: conservation violated: created %d, accounted %d (queued %d, resident %d, ejected %d)",
@@ -713,33 +783,87 @@ func (n *Network) CheckConservation() error {
 	return n.checkPool()
 }
 
-// checkPool proves the freelist accounting under pooling: recycles
-// mirror ejections one for one and the pool contains exactly the
-// recycled-minus-releeased population, each entry distinct and marked
-// free. (Buffer and queue walks in CheckConservation already rejected
-// any free packet still live.)
+// checkHandles walks every router buffer validating that each stored
+// handle names a packet inside the arena, a sequence inside the packet
+// and a VC inside the algorithm's range.
+func (n *Network) checkHandles() error {
+	a := &n.arena
+	vcs := n.alg.VCs()
+	valid := func(h flitH) error {
+		if pi := h.pkt(); pi < 0 || int(pi) >= a.len() || h.seq() >= a.pktLen || h.vc() >= vcs {
+			return fmt.Errorf("noc: invalid flit handle %#x buffered (arena %d records, packet len %d, %d VCs)",
+				uint64(h), a.len(), a.pktLen, vcs)
+		}
+		return nil
+	}
+	for _, r := range n.routers {
+		for _, p := range r.in {
+			for i := range p.bufs {
+				for _, h := range p.bufs[i].live() {
+					if err := valid(h); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		for _, op := range r.out {
+			for _, v := range op.vcs {
+				for _, h := range v.flits() {
+					if err := valid(h); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkPool proves the arena's freelist accounting. Under pooling:
+// recycles mirror ejections one for one, the free stack holds exactly
+// the recycled-minus-releeased records — each index in range, distinct
+// and marked free (the buffer and queue walks in CheckConservation
+// already rejected any free record still live) — and the free stack
+// plus the live lease population tile the arena record range exactly.
+// Without pooling the free stack must be empty and the arena grown one
+// record per created packet.
 func (n *Network) checkPool() error {
+	a := &n.arena
 	if !n.pooling {
+		if len(a.freeStack) != 0 {
+			return fmt.Errorf("noc: pooling disabled but %d records on the free stack", len(a.freeStack))
+		}
+		if uint64(a.len()) != n.created {
+			return fmt.Errorf("noc: pooling disabled but arena holds %d records for %d created packets", a.len(), n.created)
+		}
 		return nil
 	}
 	if n.recycled != n.ejected {
 		return fmt.Errorf("noc: pool leak: %d packets ejected but %d recycled", n.ejected, n.recycled)
 	}
-	if n.poolSeen == nil {
-		n.poolSeen = make(map[*Packet]bool, len(n.pool))
+	words := (a.len() + 63) / 64
+	if cap(n.poolScratch) < words {
+		n.poolScratch = make([]uint64, words)
 	}
-	clear(n.poolSeen)
-	distinct := n.poolSeen
-	for _, p := range n.pool {
+	n.poolScratch = n.poolScratch[:words]
+	for i := range n.poolScratch {
+		n.poolScratch[i] = 0
+	}
+	distinct := n.poolScratch
+	for _, pi := range a.freeStack {
 		switch {
-		case p == nil:
-			return fmt.Errorf("noc: nil entry on the packet pool")
-		case !p.free:
-			return fmt.Errorf("noc: pool holds leased packet %v (missing free mark)", p)
-		case distinct[p]:
-			return fmt.Errorf("noc: packet %v pooled twice (double free)", p)
+		case pi < 0 || int(pi) >= a.len():
+			return fmt.Errorf("noc: free-stack index %d outside the arena (%d records)", pi, a.len())
+		case !a.free[pi]:
+			return fmt.Errorf("noc: free stack holds leased packet %s (missing free mark)", n.pktString(pi))
+		case distinct[pi>>6]&(1<<(uint(pi)&63)) != 0:
+			return fmt.Errorf("noc: packet %s pooled twice (double free)", n.pktString(pi))
 		}
-		distinct[p] = true
+		distinct[pi>>6] |= 1 << (uint(pi) & 63)
+	}
+	if live := n.created - n.ejected; uint64(a.len()) != uint64(len(a.freeStack))+live {
+		return fmt.Errorf("noc: arena partition violated: %d records != %d free + %d live leases",
+			a.len(), len(a.freeStack), live)
 	}
 	return nil
 }
@@ -747,19 +871,20 @@ func (n *Network) checkPool() error {
 // Reset returns the network to its just-constructed state — empty
 // buffers and queues, zeroed counters and round-robin pointers, no
 // ejection callback — while keeping every allocated structure: the
-// routers, the per-slot buffer arrays, and above all the packet pool,
-// to which all in-flight and queued packets are reclaimed first. A
-// reset network therefore runs the next scenario bit for bit like a
-// freshly built one but with a warm freelist, which is what lets a
-// campaign reuse one network across replications instead of rebuilding
-// it per run. The engine selection is preserved; pooling may be
-// retoggled afterwards (created is back to zero).
+// routers, the per-slot buffer arrays, and above all the packet arena,
+// to which all in-flight and queued packets' records are reclaimed
+// first (without pooling the arena population is dropped instead, its
+// capacity kept). A reset network therefore runs the next scenario bit
+// for bit like a freshly built one but with a warm freelist, which is
+// what lets a campaign reuse one network across replications instead of
+// rebuilding it per run. The engine selection is preserved; pooling may
+// be retoggled afterwards (created is back to zero).
 func (n *Network) Reset() {
 	for _, r := range n.routers {
 		for _, p := range r.in {
 			for vc := range p.bufs {
-				for _, f := range p.bufs[vc].live() {
-					n.reclaim(f.Pkt)
+				for _, h := range p.bufs[vc].live() {
+					n.reclaim(h.pkt())
 				}
 				p.bufs[vc].reset()
 				p.route[vc] = routeEntry{}
@@ -768,28 +893,33 @@ func (n *Network) Reset() {
 		}
 		for _, op := range r.out {
 			for _, v := range op.vcs {
-				for _, f := range v.q.live() {
-					n.reclaim(f.Pkt)
+				for _, h := range v.q.live() {
+					n.reclaim(h.pkt())
 				}
 				v.q.reset()
-				v.owner = nil
+				v.owner = -1
 			}
 			op.rr = 0
 		}
 		r.rrIn, r.rrEj = 0, 0
-		r.inOcc, r.ejOcc, r.outOcc = 0, 0, 0
+		r.inOcc.zero()
+		r.ejOcc.zero()
+		r.outOcc.zero()
 	}
 	for _, s := range n.nis {
-		for _, p := range s.queue.live() {
-			n.reclaim(p)
+		for _, pi := range s.queue.live() {
+			n.reclaim(pi)
 		}
 		s.queue.reset()
-		if s.sending != nil {
+		if s.sending >= 0 {
 			n.reclaim(s.sending)
-			s.sending = nil
+			s.sending = -1
 		}
 		s.nextSeq, s.vc = 0, 0
 		s.route = routeEntry{}
+	}
+	if !n.pooling {
+		n.arena.truncate()
 	}
 	for i := range n.linkFlits {
 		n.linkFlits[i] = 0
@@ -809,15 +939,25 @@ func (n *Network) Reset() {
 	n.rebuildModTab()
 }
 
-// reclaim returns a still-live packet to the pool during Reset. A worm
-// spread across several buffers reaches reclaim once per flit; the free
-// mark deduplicates. Without pooling the packet is simply dropped.
-func (n *Network) reclaim(p *Packet) {
-	if !n.pooling || p.free {
+// reclaim returns a still-live packet record to the free stack during
+// Reset. A worm spread across several buffers reaches reclaim once per
+// flit; the free mark deduplicates. Without pooling the record is
+// simply dropped (the arena is truncated by Reset).
+func (n *Network) reclaim(pi int32) {
+	a := &n.arena
+	if !n.pooling || a.free[pi] {
 		return
 	}
-	p.free = true
-	n.pool = append(n.pool, p)
+	a.free[pi] = true
+	a.freeStack = append(a.freeStack, pi)
+}
+
+// flitString renders handle h like Flit.String, for panics and
+// conservation errors (cold paths only).
+func (n *Network) flitString(h flitH) string {
+	n.materializePacket(&n.errView, h.pkt())
+	f := Flit{Pkt: &n.errView, Seq: h.seq(), VC: h.vc()}
+	return f.String()
 }
 
 // Drain runs the network without new injections until all traffic is

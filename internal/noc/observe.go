@@ -95,11 +95,20 @@ type PerfStats struct {
 	RouterVisits uint64
 	// SkippedCycles counts cycles advanced by SkipTo instead of Step.
 	SkippedCycles uint64
+	// LiveStateBytes is the resident footprint of the live simulation
+	// state at sampling time (see Network.LiveStateBytes). Length-based
+	// and allocator-independent, so it is gateable like the counters.
+	LiveStateBytes uint64
 }
 
 // Perf returns the engine work counters accumulated so far.
 func (n *Network) Perf() PerfStats {
-	return PerfStats{Engine: n.engine.String(), RouterVisits: n.visits, SkippedCycles: n.skipped}
+	return PerfStats{
+		Engine:         n.engine.String(),
+		RouterVisits:   n.visits,
+		SkippedCycles:  n.skipped,
+		LiveStateBytes: n.LiveStateBytes(),
+	}
 }
 
 // ActiveNodes reports how many routers currently hold buffered flits
@@ -116,7 +125,7 @@ func (n *Network) ActiveNodes() int {
 			}
 			continue
 		}
-		if r.inOcc|r.outOcc != 0 {
+		if r.inOcc.any() || r.outOcc.any() {
 			c++
 		}
 	}
@@ -171,7 +180,7 @@ func (v congestionView) OutputOccupancy(d topology.Direction, vc int) int {
 	}
 	q := op.vcs[vc]
 	occ := q.q.len()
-	if q.owner != nil {
+	if q.owner >= 0 {
 		occ++
 	}
 	return occ
@@ -185,5 +194,42 @@ func (v congestionView) OutputFree(d topology.Direction, vc int) bool {
 		return false
 	}
 	q := op.vcs[vc]
-	return q.owner == nil && !q.full(v.cap)
+	return q.owner < 0 && !q.full(v.cap)
+}
+
+// LiveStateBytes reports the resident bytes of the network's live
+// simulation state: the packet arena (records, per-flit stamps and the
+// free stack), every router's buffered flit handles and per-slot
+// bookkeeping (masks, switching entries), and the NI source queues. It
+// counts live lengths, not backing capacities, so the figure is a
+// deterministic function of the scenario — independent of allocator
+// growth policy and Go version — and the perf gate tracks it per router
+// as live-bytes/router: the memory-compactness counterpart of the
+// visits/cycle work counter, pinning the footprint win of the
+// handle-based arena layout against regressions.
+func (n *Network) LiveStateBytes() uint64 {
+	const (
+		handleBytes = 8 // flitH
+		indexBytes  = 4 // int32 arena index
+	)
+	b := n.arena.bytes()
+	for _, r := range n.routers {
+		for _, p := range r.in {
+			for i := range p.bufs {
+				b += p.bufs[i].bytes(handleBytes)
+			}
+			// Per-VC switching entries (flag + port pointer + VC, padded).
+			b += uint64(len(p.route)) * 24
+		}
+		for _, op := range r.out {
+			for _, v := range op.vcs {
+				b += v.q.bytes(handleBytes)
+			}
+		}
+		b += uint64(len(r.inOcc)+len(r.ejOcc)+len(r.outOcc)) * 8
+	}
+	for _, s := range n.nis {
+		b += s.queue.bytes(indexBytes)
+	}
+	return b
 }

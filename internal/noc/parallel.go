@@ -2,7 +2,6 @@ package noc
 
 import (
 	"fmt"
-	"math/bits"
 	"runtime"
 	"sync/atomic"
 )
@@ -33,19 +32,26 @@ import (
 //     another shard's router defer the input-slot push and its mask
 //     bookkeeping; ejection completions (statistics, the OnEject
 //     callback — which may inject new packets into any shard — and the
-//     pool recycle) defer to the barrier after the ejection phase;
+//     arena recycle) defer to the barrier after the ejection phase;
 //     injection statistics defer to the end of the cycle. Within each
 //     buffer, records are appended in ascending node order, so the
 //     shard-order replay is exactly the serial engine's order.
 //
-// The packet/flit freelist needs no sharding: every pool operation —
-// the lease inside InjectPacket (generator events run between cycles;
+// The packet arena needs no sharding: every lease and recycle — the
+// lease inside InjectPacket (generator events run between cycles;
 // OnEject replies run in the ejection replay) and the recycle at tail
 // ejection (also in the replay) — already happens in the serial
-// sections at the barriers, so the steady state stays allocation-free
-// and CheckConservation's pool accounting holds verbatim. The deferred
-// record buffers keep their backing arrays across cycles and runs, so
-// the parallel engine adds no steady-state allocations of its own.
+// sections at the barriers, so arena growth and the free stack are
+// only ever touched single-threaded and the conservation accounting
+// holds verbatim. The per-record fields shards do write concurrently —
+// recv during ejection (each packet's flits eject at its unique
+// destination shard), injected during injection (each packet injects at
+// its unique source shard), hops and the per-flit lastMove stamps
+// during link traversal (each flit lives in exactly one queue) — are
+// distinct word-sized array elements, and the barriers' atomics order
+// them, so the engine stays race-clean. The deferred record buffers
+// keep their backing arrays across cycles and runs, so the parallel
+// engine adds no steady-state allocations of its own.
 //
 // Execution uses one worker goroutine per shard beyond the first (the
 // caller's goroutine runs shard 0). Workers park on a channel between
@@ -68,10 +74,11 @@ type parShard struct {
 	visits uint64 // worklist visits this cycle, merged at cycle end
 	moved  bool   // any flit progress this cycle, merged at cycle end
 
-	// ej holds this cycle's fully ejected packets in pop order; the
-	// barrier after the ejection phase replays them (statistics,
-	// OnEject, pool recycle) in shard order == ascending node order.
-	ej []*Packet
+	// ej holds this cycle's fully ejected packets (arena indices) in
+	// pop order; the barrier after the ejection phase replays them
+	// (statistics, OnEject, arena recycle) in shard order == ascending
+	// node order.
+	ej []int32
 	// stats holds this cycle's injection-phase collector events in
 	// visit order, replayed at cycle end.
 	stats []statRecord
@@ -91,13 +98,13 @@ type statRecord struct {
 	flits    int
 }
 
-// pushRecord is one deferred cross-shard link traversal: flit f arrives
-// in input port p, virtual channel vc, of router node.
+// pushRecord is one deferred cross-shard link traversal: flit handle h
+// arrives in input port p, virtual channel vc, of router node.
 type pushRecord struct {
 	node int
 	p    *inPort
 	vc   int
-	f    *Flit
+	h    flitH
 }
 
 // parRun is the worker group of a running parallel network: one parked
@@ -203,17 +210,12 @@ func (n *Network) resetShards() {
 	}
 }
 
-// clearScratch empties the deferred buffers, dropping their references
-// but keeping capacity.
+// clearScratch empties the deferred buffers, keeping capacity (the
+// records are plain integers and port pointers into long-lived router
+// structures, so no references need dropping).
 func (s *parShard) clearScratch() {
-	for j := range s.ej {
-		s.ej[j] = nil
-	}
 	s.ej = s.ej[:0]
 	s.stats = s.stats[:0]
-	for j := range s.xpush {
-		s.xpush[j] = pushRecord{}
-	}
 	s.xpush = s.xpush[:0]
 }
 
@@ -299,7 +301,8 @@ func (n *Network) awaitShards() {
 // releaseSpan opens the next span for the workers: pending is re-armed
 // first, then the seq bump publishes it (workers load seq with acquire
 // semantics, so they observe the reset counter and every serial-section
-// write that preceded the bump).
+// write that preceded the bump — including arena growth from leases in
+// the serial sections).
 func (n *Network) releaseSpan() {
 	pr := n.pr
 	pr.pending.Store(int64(len(n.shards) - 1))
@@ -355,10 +358,13 @@ func (n *Network) stepParallel() {
 
 // parEject mirrors activeEject over one shard's ejection worklist,
 // deferring every tail-ejection completion: the pops, mask updates and
-// per-packet receive accounting are shard-local, while statistics, the
-// OnEject callback and the pool recycle run in the serial replay.
+// per-packet receive accounting are shard-local (a packet's flits all
+// eject at its unique destination), while statistics, the OnEject
+// callback and the arena recycle run in the serial replay.
 func (n *Network) parEject(s *parShard) {
 	vcs := n.alg.VCs()
+	a := &n.arena
+	tail := a.pktLen - 1
 	s.wl.ej.forEach(func(node int) {
 		r := n.routers[node]
 		s.visits++
@@ -374,19 +380,20 @@ func (n *Network) parEject(s *parShard) {
 			if sl >= slots {
 				sl -= slots
 			}
-			if r.ejOcc&(1<<uint(sl)) == 0 {
-				continue
-			}
 			p := r.in[sl/vcs]
 			vc := sl % vcs
-			for budget > 0 && !p.empty(vc) && p.head(vc).Pkt.Dst == r.node {
-				f := n.inPop(&s.wl, node, r, p, vc)
+			if !r.ejOcc.test(p.slotBase + vc) {
+				continue
+			}
+			for budget > 0 && !p.empty(vc) && a.dst[p.head(vc).pkt()] == int32(r.node) {
+				h := n.inPop(&s.wl, node, r, p, vc)
+				pi := h.pkt()
 				n.telEj[node]++
 				budget--
 				s.moved = true
-				f.Pkt.recv++
-				if f.IsTail() {
-					s.ej = append(s.ej, f.Pkt)
+				a.recv[pi]++
+				if h.seq() == tail {
+					s.ej = append(s.ej, pi)
 				}
 			}
 		}
@@ -397,19 +404,20 @@ func (n *Network) parEject(s *parShard) {
 // order — which, shards being contiguous and each buffer append-ordered
 // by the ascending-node walk, is exactly the serial engines' ejection
 // order. Statistics, the OnEject callback (whose reply injections may
-// lease from the pool and land in any shard's source worklist) and the
+// lease from the arena and land in any shard's source worklist) and the
 // recycle therefore interleave precisely as in EngineActive.
 func (n *Network) replayEjections() {
+	a := &n.arena
 	for i := range n.shards {
 		s := &n.shards[i]
-		for j, pkt := range s.ej {
-			s.ej[j] = nil
+		for _, pi := range s.ej {
 			n.ejected++
-			n.col.PacketEjected(n.cycle, pkt.CreatedCycle, pkt.InjectedCycle, pkt.Len, pkt.Hops)
+			n.col.PacketEjected(n.cycle, a.created[pi], a.injected[pi], a.pktLen, int(a.hops[pi]))
 			if n.onEject != nil {
-				n.onEject(pkt)
+				n.materializePacket(&n.ejView, pi)
+				n.onEject(&n.ejView)
 			}
-			n.recyclePacket(pkt)
+			n.recyclePacket(pi)
 		}
 		s.ej = s.ej[:0]
 	}
@@ -425,79 +433,36 @@ func (n *Network) parSwitchInject(s *parShard) {
 	s.wl.sw.forEach(func(node int) {
 		r := n.routers[node]
 		s.visits++
-		rrIn := int(n.modTab[len(r.in)])
-		m := r.inOcc &^ r.ejOcc
-		hi := m &^ (1<<uint(rrIn*vcs) - 1)
-		for _, part := range [2]uint64{hi, m ^ hi} {
-			for part != 0 {
-				p := r.slotIn[bits.TrailingZeros64(part)]
-				occ := part >> uint(p.slotBase)
-				part &^= (1<<uint(vcs) - 1) << uint(p.slotBase)
-				n.parSwitchPort(s, r, p, occ, vcs)
+		np := len(r.in)
+		rrIn := int(n.modTab[np])
+		for k := 0; k < np; k++ {
+			p := r.in[(rrIn+k)%np]
+			occ := r.inOcc.port(p.slotBase, vcs) &^ r.ejOcc.port(p.slotBase, vcs)
+			if occ == 0 {
+				continue
+			}
+			if n.switchPort(&s.wl, r, p, occ, vcs) {
+				s.moved = true
 			}
 		}
 	})
 	n.parInject(s)
 }
 
-// parSwitchPort mirrors switchPort against the shard's worklists.
-func (n *Network) parSwitchPort(s *parShard, r *router, p *inPort, occ uint64, vcs int) {
-	for j := 0; j < vcs; j++ {
-		inVC := (p.rrVC + j) % vcs
-		if occ&(1<<uint(inVC)) == 0 {
-			continue
-		}
-		f := p.head(inVC)
-		if f.lastMove >= n.cycle+1 {
-			continue // already advanced this cycle
-		}
-		entry := &p.route[inVC]
-		if f.IsHead() {
-			d := n.route(r, f.Pkt, inVC)
-			op := r.outPortByDir(d.Dir)
-			if op == nil {
-				panic(fmt.Sprintf("noc: %s chose missing direction %v at node %d for %v",
-					n.alg.Name(), d.Dir, r.node, f.Pkt))
-			}
-			ovc := op.vcs[d.VC]
-			if !n.canAdmit(ovc, f.Pkt) {
-				continue // allocation denied; retry next cycle
-			}
-			ovc.owner = f.Pkt
-			*entry = routeEntry{active: true, port: op, vc: d.VC}
-		} else if !entry.active {
-			panic(fmt.Sprintf("noc: body flit %v at node %d without switching state", f, r.node))
-		}
-		ovc := entry.port.vcs[entry.vc]
-		if ovc.owner != f.Pkt || ovc.full(n.cfg.OutBufCap) {
-			continue // space denied; retry next cycle
-		}
-		n.inPop(&s.wl, r.node, r, p, inVC)
-		f.VC = entry.vc
-		f.lastMove = n.cycle + 1
-		n.outPush(&s.wl, r.node, r, entry.port, entry.vc, f)
-		s.moved = true
-		if f.IsTail() {
-			ovc.owner = nil
-			entry.active = false
-		}
-		p.rrVC = (inVC + 1) % vcs
-		return // one flit per input port per cycle
-	}
-}
-
 // parInject mirrors activeInject over one shard's sources, deferring
 // the collector events (packet acceptances, source-blocked cycles) to
 // the end-of-cycle replay; everything else — source queue, worm state,
-// the output-queue pushes — is local to the shard.
+// the output-queue pushes, the packet's injection stamp (its source is
+// unique to this shard) — is local to the shard.
 func (n *Network) parInject(s *parShard) {
+	a := &n.arena
 	s.wl.ni.forEach(func(node int) {
 		q := n.nis[node]
 		r := n.routers[node]
 		s.visits++
 		budget := n.cfg.InjectRate
 		for budget > 0 {
-			if q.sending == nil {
+			if q.sending < 0 {
 				if q.queue.len() == 0 {
 					break
 				}
@@ -506,17 +471,17 @@ func (n *Network) parInject(s *parShard) {
 				q.vc = 0
 				q.route = routeEntry{}
 			}
-			pkt := q.sending
+			pi := q.sending
 			if q.nextSeq == 0 && !q.route.active {
-				d := n.route(r, pkt, 0)
+				d := n.route(r, pi, 0)
 				op := r.outPortByDir(d.Dir)
 				if op == nil {
-					panic(fmt.Sprintf("noc: %s chose missing direction %v at source %d for %v",
-						n.alg.Name(), d.Dir, node, pkt))
+					panic(fmt.Sprintf("noc: %s chose missing direction %v at source %d for %s",
+						n.alg.Name(), d.Dir, node, n.pktString(pi)))
 				}
 				ovc := op.vcs[d.VC]
-				if n.canAdmit(ovc, pkt) {
-					ovc.owner = pkt
+				if n.canAdmit(ovc) {
+					ovc.owner = pi
 					q.route = routeEntry{active: true, port: op, vc: d.VC}
 				} else {
 					s.stats = append(s.stats, statRecord{})
@@ -528,25 +493,24 @@ func (n *Network) parInject(s *parShard) {
 				s.stats = append(s.stats, statRecord{})
 				break
 			}
-			f := &pkt.flits[q.nextSeq]
-			f.VC = q.route.vc
-			f.lastMove = n.cycle + 1
-			n.outPush(&s.wl, node, r, q.route.port, q.route.vc, f)
+			h := mkFlit(pi, q.nextSeq, q.route.vc)
+			a.lastMove[a.flitIndex(h)] = n.cycle + 1
+			n.outPush(&s.wl, node, r, q.route.port, q.route.vc, h)
 			n.telInj[node]++
 			s.moved = true
 			q.nextSeq++
 			budget--
-			if f.IsHead() {
-				pkt.InjectedCycle = n.cycle
-				s.stats = append(s.stats, statRecord{injected: true, flits: pkt.Len})
+			if h.seq() == 0 {
+				a.injected[pi] = n.cycle
+				s.stats = append(s.stats, statRecord{injected: true, flits: a.pktLen})
 			}
-			if f.IsTail() {
-				ovc.owner = nil
-				q.sending = nil
+			if h.seq() == a.pktLen-1 {
+				ovc.owner = -1
+				q.sending = -1
 				q.route = routeEntry{}
 			}
 		}
-		if q.sending == nil && q.queue.len() == 0 {
+		if q.sending < 0 && q.queue.len() == 0 {
 			s.wl.ni.remove(node)
 		}
 	})
@@ -566,11 +530,11 @@ func (n *Network) parLink(s *parShard) {
 	s.wl.out.forEach(func(node int) {
 		r := n.routers[node]
 		s.visits++
-		m := r.outOcc
-		for m != 0 {
-			op := r.slotOut[bits.TrailingZeros64(m)]
-			occ := m >> uint(op.slotBase)
-			m &^= (1<<uint(vcs) - 1) << uint(op.slotBase)
+		for _, op := range r.out {
+			occ := r.outOcc.port(op.slotBase, vcs)
+			if occ == 0 {
+				continue
+			}
 			n.parLinkPort(s, node, r, op, occ, vcs, rrVC)
 		}
 	})
@@ -578,6 +542,7 @@ func (n *Network) parLink(s *parShard) {
 
 // parLinkPort mirrors linkPort with the cross-shard deferral.
 func (n *Network) parLinkPort(s *parShard, node int, r *router, op *outPort, occ uint64, vcs, rr int) {
+	a := &n.arena
 	for k := 0; k < vcs; k++ {
 		vi := rr + k
 		if vi >= vcs {
@@ -587,8 +552,9 @@ func (n *Network) parLinkPort(s *parShard, node int, r *router, op *outPort, occ
 			continue
 		}
 		v := op.vcs[vi]
-		f := v.head()
-		if f.lastMove >= n.cycle+1 {
+		h := v.head()
+		fi := a.flitIndex(h)
+		if a.lastMove[fi] >= n.cycle+1 {
 			continue
 		}
 		if !n.canDepart(v) {
@@ -599,15 +565,15 @@ func (n *Network) parLinkPort(s *parShard, node int, r *router, op *outPort, occ
 			continue
 		}
 		n.outPop(&s.wl, node, r, op, vi)
-		f.lastMove = n.cycle + 1
-		if f.IsHead() {
-			f.Pkt.Hops++
+		a.lastMove[fi] = n.cycle + 1
+		if h.seq() == 0 {
+			a.hops[h.pkt()]++
 		}
 		n.linkFlits[op.ch.ID]++
 		if dst := op.ch.Dst; int(n.shardOf[dst]) == s.idx {
-			n.inPush(&s.wl, dst, op.peerRouter, ip, vi, f)
+			n.inPush(&s.wl, dst, op.peerRouter, ip, vi, h)
 		} else {
-			s.xpush = append(s.xpush, pushRecord{node: dst, p: ip, vc: vi, f: f})
+			s.xpush = append(s.xpush, pushRecord{node: dst, p: ip, vc: vi, h: h})
 		}
 		s.moved = true
 		return // one flit per physical link per cycle
@@ -621,10 +587,9 @@ func (n *Network) parLinkPort(s *parShard, node int, r *router, op *outPort, occ
 func (n *Network) finishParallelCycle() {
 	for i := range n.shards {
 		s := &n.shards[i]
-		for j, rec := range s.xpush {
-			s.xpush[j] = pushRecord{}
+		for _, rec := range s.xpush {
 			wl := &n.shards[n.shardOf[rec.node]].wl
-			n.inPush(wl, rec.node, n.routers[rec.node], rec.p, rec.vc, rec.f)
+			n.inPush(wl, rec.node, n.routers[rec.node], rec.p, rec.vc, rec.h)
 		}
 		s.xpush = s.xpush[:0]
 	}
@@ -667,9 +632,9 @@ func (n *Network) finishParallelCycle() {
 // every cycle boundary — the deferred-effect buffers are empty and the
 // scratch counters merged, so no packet, credit or statistic is parked
 // between shards. Together with CheckConservation's global packet and
-// pool accounting this proves cross-shard conservation: every flit that
-// left one shard's output queue arrived in the owning shard's input
-// bookkeeping the same cycle.
+// arena accounting this proves cross-shard conservation: every flit
+// that left one shard's output queue arrived in the owning shard's
+// input bookkeeping the same cycle.
 func (n *Network) checkParallelInvariants() error {
 	nodes := n.topo.Nodes()
 	k := n.shardCount

@@ -26,7 +26,7 @@ func newParallelNet(t *testing.T, topo topology.Topology, alg routing.Algorithm,
 	n.SetShards(k)
 	n.SetEngine(EngineParallel)
 	if n.Engine() != EngineParallel {
-		t.Fatalf("parallel engine not selected (maskable=%v)", n.maskable)
+		t.Fatal("parallel engine not selected")
 	}
 	t.Cleanup(n.StopWorkers)
 	return n

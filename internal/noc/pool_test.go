@@ -114,33 +114,34 @@ func TestCheckConservationCatchesDoubleFree(t *testing.T) {
 		t.Fatal("empty pool after a loaded run")
 	}
 
-	// A duplicated pool entry.
-	dup := net.pool[0]
-	net.pool = append(net.pool, dup)
+	// A duplicated free-stack entry.
+	dup := net.arena.freeStack[0]
+	net.arena.freeStack = append(net.arena.freeStack, dup)
 	err := net.CheckConservation()
 	if err == nil || !strings.Contains(err.Error(), "double free") {
-		t.Fatalf("duplicate pool entry not caught: %v", err)
+		t.Fatalf("duplicate free-stack entry not caught: %v", err)
 	}
-	net.pool = net.pool[:len(net.pool)-1]
+	net.arena.freeStack = net.arena.freeStack[:len(net.arena.freeStack)-1]
 
 	// A free-marked packet still queued at a source.
 	if err := net.Inject(0, 5); err != nil {
 		t.Fatal(err)
 	}
-	net.nis[0].queue.head().free = true
+	queued := net.nis[0].queue.head()
+	net.arena.free[queued] = true
 	err = net.CheckConservation()
 	if err == nil || !strings.Contains(err.Error(), "double free") {
 		t.Fatalf("free packet in a live queue not caught: %v", err)
 	}
-	net.nis[0].queue.head().free = false
+	net.arena.free[queued] = false
 
-	// A pool entry missing its free mark.
-	net.pool[0].free = false
+	// A free-stack entry missing its free mark.
+	net.arena.free[net.arena.freeStack[0]] = false
 	err = net.CheckConservation()
 	if err == nil || !strings.Contains(err.Error(), "free mark") {
-		t.Fatalf("leased packet on the pool not caught: %v", err)
+		t.Fatalf("leased packet on the free stack not caught: %v", err)
 	}
-	net.pool[0].free = true
+	net.arena.free[net.arena.freeStack[0]] = true
 }
 
 // Recycling the same lease twice is an engine bug and must panic rather
@@ -150,14 +151,14 @@ func TestDoubleRecyclePanics(t *testing.T) {
 	if err := net.Inject(0, 5); err != nil {
 		t.Fatal(err)
 	}
-	p := net.nis[0].queue.head()
+	pi := net.nis[0].queue.head()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("double recycle did not panic")
 		}
 	}()
-	net.recyclePacket(p)
-	net.recyclePacket(p)
+	net.recyclePacket(pi)
+	net.recyclePacket(pi)
 }
 
 // SetPooling is a construction/Reset-time decision: retoggling with

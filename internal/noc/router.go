@@ -61,26 +61,30 @@ func (q *fifo[T]) reset() {
 	q.start = 0
 }
 
+// bytes reports the resident bytes of the queue's live span at elemSize
+// bytes per element (length-based, so the figure is deterministic).
+func (q *fifo[T]) bytes(elemSize int) uint64 { return uint64(q.len() * elemSize) }
+
 // outVC is one output queue of a physical output channel — the paper's
 // "multiple output queues for each physical link". It is a FIFO of
-// flits with an ownership discipline guaranteeing that the flits of two
-// packets never interleave within the queue: owner is the packet whose
-// worm is currently entering, set when its head flit is accepted and
-// cleared when its tail flit is accepted (trailing packets then queue
-// strictly behind).
+// flit handles with an ownership discipline guaranteeing that the flits
+// of two packets never interleave within the queue: owner is the arena
+// index of the packet whose worm is currently entering (-1 when none),
+// set when its head flit is accepted and cleared when its tail flit is
+// accepted (trailing packets then queue strictly behind).
 type outVC struct {
-	q     fifo[*Flit]
-	owner *Packet
+	q     fifo[flitH]
+	owner int32
 }
 
 func (v *outVC) full(cap int) bool { return v.q.len() >= cap }
 func (v *outVC) empty() bool       { return v.q.len() == 0 }
-func (v *outVC) head() *Flit       { return v.q.head() }
-func (v *outVC) push(f *Flit)      { v.q.push(f) }
-func (v *outVC) pop() *Flit        { return v.q.pop() }
+func (v *outVC) head() flitH       { return v.q.head() }
+func (v *outVC) push(h flitH)      { v.q.push(h) }
+func (v *outVC) pop() flitH        { return v.q.pop() }
 
-// flits returns the queued flits in FIFO order (see fifo.live).
-func (v *outVC) flits() []*Flit { return v.q.live() }
+// flits returns the queued handles in FIFO order (see fifo.live).
+func (v *outVC) flits() []flitH { return v.q.live() }
 
 // outPort is one physical output channel with its VC queues and the
 // round-robin pointer arbitrating them onto the link.
@@ -88,7 +92,7 @@ type outPort struct {
 	ch       topology.Channel
 	vcs      []*outVC
 	rr       int // next VC to consider for link traversal
-	slotBase int // index of vcs[0] in the router's flattened out slots
+	slotBase int // bit index of vcs[0] in the router's strided slot masks
 
 	// peer and peerRouter cache the downstream input port and router of
 	// the channel (resolved once by NewNetwork), sparing the active
@@ -118,17 +122,17 @@ type routeEntry struct {
 // re-enter VC 0 past the dateline and close a cycle.
 type inPort struct {
 	ch       topology.Channel
-	bufs     []fifo[*Flit] // per-VC receive slots
+	bufs     []fifo[flitH] // per-VC receive slots
 	route    []routeEntry  // per-VC switching state
 	rrVC     int           // round-robin VC pointer for the switch stage
-	slotBase int           // index of bufs[0] in the router's flattened in slots
+	slotBase int           // bit index of bufs[0] in the router's strided slot masks
 }
 
 func (p *inPort) full(vc, cap int) bool { return p.bufs[vc].len() >= cap }
 func (p *inPort) empty(vc int) bool     { return p.bufs[vc].len() == 0 }
-func (p *inPort) head(vc int) *Flit     { return p.bufs[vc].head() }
-func (p *inPort) push(vc int, f *Flit)  { p.bufs[vc].push(f) }
-func (p *inPort) pop(vc int) *Flit      { return p.bufs[vc].pop() }
+func (p *inPort) head(vc int) flitH     { return p.bufs[vc].head() }
+func (p *inPort) push(vc int, h flitH)  { p.bufs[vc].push(h) }
+func (p *inPort) pop(vc int) flitH      { return p.bufs[vc].pop() }
 
 // buffered counts flits across all VC slots of the port.
 func (p *inPort) buffered() int {
@@ -148,65 +152,61 @@ type router struct {
 	rrEj int        // round-robin start for the ejection port
 
 	// Slot-occupancy masks for the activity-driven engine, one bit per
-	// flattened (port, VC) slot. inOcc marks non-empty input slots;
-	// ejOcc the subset whose head flit is destined to this node (so the
-	// switch stage skips them and the ejection stage finds them without
-	// scanning); outOcc marks non-empty output queues. The sweep engine
-	// ignores them; SetEngine rebuilds them from the buffers.
-	inOcc  uint64
-	ejOcc  uint64
-	outOcc uint64
+	// strided (port, VC) slot (see slotMask for the layout). inOcc
+	// marks non-empty input slots; ejOcc the subset whose head flit is
+	// destined to this node (so the switch stage skips them and the
+	// ejection stage finds them without scanning); outOcc marks
+	// non-empty output queues. The sweep engine ignores them; SetEngine
+	// rebuilds them from the buffers.
+	inOcc  slotMask
+	ejOcc  slotMask
+	outOcc slotMask
 
 	// byDir maps a routing direction to its output port (nil when the
 	// node has no channel that way); Direction is a small dense enum,
 	// so a flat table replaces the linear scan on every routing
 	// decision.
 	byDir [topology.DirCount]*outPort
-
-	// slotIn and slotOut map a flattened slot index back to its port,
-	// so the mask-driven phase walks skip the divide by the VC count.
-	slotIn  []*inPort
-	slotOut []*outPort
 }
 
 // newRouter builds one node's switching element with a flattened slot
 // layout: the port structs, the per-VC receive slots, the switching
 // entries, and all output VC queues of the node each live in a single
 // contiguous block, so the per-cycle phase walks touch a handful of
-// cache lines per router instead of one heap object per slot.
-func newRouter(node int, t topology.Topology, vcs int) *router {
+// cache lines per router instead of one heap object per slot. stride is
+// the power-of-two mask stride ports are spaced at (Network.stride).
+func newRouter(node int, t topology.Topology, vcs, stride int) *router {
 	r := &router{node: node}
 	ins, outs := t.In(node), t.Out(node)
 	inBlock := make([]inPort, len(ins))
-	bufBlock := make([]fifo[*Flit], len(ins)*vcs)
+	bufBlock := make([]fifo[flitH], len(ins)*vcs)
 	routeBlock := make([]routeEntry, len(ins)*vcs)
 	r.in = make([]*inPort, len(ins))
-	r.slotIn = make([]*inPort, len(ins)*vcs)
 	for i, c := range ins {
-		inBlock[i] = inPort{ch: c, bufs: bufBlock[i*vcs : (i+1)*vcs], route: routeBlock[i*vcs : (i+1)*vcs], slotBase: i * vcs}
+		inBlock[i] = inPort{ch: c, bufs: bufBlock[i*vcs : (i+1)*vcs], route: routeBlock[i*vcs : (i+1)*vcs], slotBase: i * stride}
 		r.in[i] = &inBlock[i]
-		for v := 0; v < vcs; v++ {
-			r.slotIn[i*vcs+v] = &inBlock[i]
-		}
 	}
 	outBlock := make([]outPort, len(outs))
 	vcBlock := make([]outVC, len(outs)*vcs)
 	r.out = make([]*outPort, len(outs))
-	r.slotOut = make([]*outPort, len(outs)*vcs)
 	for i, c := range outs {
 		op := &outBlock[i]
 		op.ch = c
-		op.slotBase = i * vcs
+		op.slotBase = i * stride
 		op.vcs = make([]*outVC, vcs)
 		for v := 0; v < vcs; v++ {
-			op.vcs[v] = &vcBlock[i*vcs+v]
-			r.slotOut[i*vcs+v] = op
+			ov := &vcBlock[i*vcs+v]
+			ov.owner = -1
+			op.vcs[v] = ov
 		}
 		r.out[i] = op
 		if int(c.Dir) < len(r.byDir) && r.byDir[c.Dir] == nil {
 			r.byDir[c.Dir] = op // first match, like the scan it replaces
 		}
 	}
+	r.inOcc = newSlotMask(len(ins) * stride)
+	r.ejOcc = newSlotMask(len(ins) * stride)
+	r.outOcc = newSlotMask(len(outs) * stride)
 	return r
 }
 

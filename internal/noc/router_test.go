@@ -9,18 +9,17 @@ import (
 )
 
 func TestOutVCQueueFIFO(t *testing.T) {
-	v := &outVC{}
-	p := &Packet{Len: 3}
+	v := &outVC{owner: -1}
 	for i := 0; i < 3; i++ {
-		v.push(&Flit{Pkt: p, Seq: i})
+		v.push(mkFlit(0, i, 0))
 	}
 	if v.empty() || !v.full(3) {
 		t.Fatal("fill state wrong")
 	}
 	for i := 0; i < 3; i++ {
-		f := v.pop()
-		if f.Seq != i {
-			t.Fatalf("pop order: got seq %d at position %d", f.Seq, i)
+		h := v.pop()
+		if h.seq() != i {
+			t.Fatalf("pop order: got seq %d at position %d", h.seq(), i)
 		}
 	}
 	if !v.empty() {
@@ -29,10 +28,9 @@ func TestOutVCQueueFIFO(t *testing.T) {
 }
 
 func TestOutVCFullRespectsCapacity(t *testing.T) {
-	v := &outVC{}
-	p := &Packet{Len: 10}
+	v := &outVC{owner: -1}
 	for i := 0; i < 2; i++ {
-		v.push(&Flit{Pkt: p, Seq: i})
+		v.push(mkFlit(0, i, 0))
 	}
 	if v.full(3) {
 		t.Fatal("2 of 3 reported full")
@@ -44,10 +42,9 @@ func TestOutVCFullRespectsCapacity(t *testing.T) {
 
 func TestInPortPerVCSlots(t *testing.T) {
 	ch := topology.Channel{ID: 0, Src: 0, Dst: 1, Dir: topology.DirClockwise}
-	p := &inPort{ch: ch, bufs: make([]fifo[*Flit], 2), route: make([]routeEntry, 2)}
-	pk := &Packet{Len: 2}
-	p.push(0, &Flit{Pkt: pk, Seq: 0, VC: 0})
-	p.push(1, &Flit{Pkt: pk, Seq: 1, VC: 1})
+	p := &inPort{ch: ch, bufs: make([]fifo[flitH], 2), route: make([]routeEntry, 2)}
+	p.push(0, mkFlit(0, 0, 0))
+	p.push(1, mkFlit(0, 1, 1))
 	if p.empty(0) || p.empty(1) {
 		t.Fatal("slots empty after push")
 	}
@@ -57,15 +54,15 @@ func TestInPortPerVCSlots(t *testing.T) {
 	if p.full(0, 1) != true || p.full(0, 2) != false {
 		t.Fatal("full computation")
 	}
-	f := p.pop(0)
-	if f.Seq != 0 || !p.empty(0) || p.empty(1) {
+	h := p.pop(0)
+	if h.seq() != 0 || !p.empty(0) || p.empty(1) {
 		t.Fatal("pop affected wrong slot")
 	}
 }
 
 func TestRouterConstruction(t *testing.T) {
 	s := topology.MustSpidergon(8)
-	r := newRouter(3, s, 2)
+	r := newRouter(3, s, 2, 2)
 	if len(r.in) != 3 || len(r.out) != 3 {
 		t.Fatalf("ports: %d in, %d out", len(r.in), len(r.out))
 	}
@@ -97,7 +94,7 @@ func TestRouterConstruction(t *testing.T) {
 
 func TestCongestionViewBounds(t *testing.T) {
 	s := topology.MustSpidergon(8)
-	r := newRouter(0, s, 2)
+	r := newRouter(0, s, 2, 2)
 	v := congestionView{r: r, cap: 3}
 	if occ := v.OutputOccupancy(topology.DirClockwise, 0); occ != 0 {
 		t.Fatalf("fresh occupancy = %d", occ)
@@ -114,7 +111,7 @@ func TestCongestionViewBounds(t *testing.T) {
 	}
 	// Owned queues count the reservation.
 	op := r.outPortByDir(topology.DirClockwise)
-	op.vcs[0].owner = &Packet{}
+	op.vcs[0].owner = 1
 	if occ := v.OutputOccupancy(topology.DirClockwise, 0); occ != 1 {
 		t.Fatalf("owned occupancy = %d", occ)
 	}
