@@ -6,7 +6,7 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: all build test vet lint fmt fmt-check cover bench bench-check bench-alloc bench-baseline bench-speedup race-parallel golden-gogcoff telemetry-check ci
+.PHONY: all build test vet lint fmt fmt-check cover bench bench-check bench-alloc bench-baseline bench-speedup race-parallel race-parallel-4 golden-gogcoff telemetry-check ci
 
 all: build
 
@@ -70,9 +70,15 @@ bench-baseline:
 # its raw output (bench-speedup.json): the 'speedup' metric there is the
 # measured intra-scenario wall-clock gain of -step-parallel over the
 # serial engine on THIS host (report-only — it scales with core count,
-# so it is never gated). CI uploads it next to bench-alloc.json.
+# so it is never gated). The run also appends one labeled record to the
+# tracked BENCH_speedup.json history (label via SPEEDUP_LABEL, default
+# "local"), so multi-core hosts accumulate a per-commit speedup
+# trajectory; commit the file when the record is worth keeping. CI
+# uploads both next to bench-alloc.json.
 bench-speedup:
-	set -o pipefail; $(GO) test -json -bench='PerfGate/knee-parallel' -benchtime=1x -run='^$$' . | tee bench-speedup.json
+	set -o pipefail; $(GO) test -json -bench='PerfGate/knee-parallel' -benchtime=1x -run='^$$' . \
+		| tee bench-speedup.json \
+		| $(GO) run ./cmd/benchgate -speedup-log BENCH_speedup.json -label "$${SPEEDUP_LABEL:-local}"
 
 # golden-gogcoff re-runs the cross-engine golden matrix's knee points
 # (every topology and switching mode at the near-saturation load) with
@@ -89,6 +95,13 @@ golden-gogcoff:
 # memory-model proof of the domain-decomposed Step.
 race-parallel:
 	$(GO) test -race -run 'Parallel' ./internal/noc/ ./internal/core/
+
+# race-parallel-4 re-runs the same matrix with GOMAXPROCS pinned to 4:
+# on a multi-core host the fused engine's workers genuinely race the
+# coordinator (spinning on the barrier instead of parking), which a
+# single-P run cannot exercise.
+race-parallel-4:
+	GOMAXPROCS=4 $(GO) test -race -run 'Parallel' ./internal/noc/ ./internal/core/
 
 # telemetry-check proves the FTDC-style capture end to end on every
 # push: a bounded knee run (the PerfGate knee workload: mesh-8x8
@@ -107,4 +120,4 @@ telemetry-check:
 # against the same baseline, with -benchmem columns added for free.
 # cover re-runs the race suite with -coverprofile, exactly as CI's
 # coverage step does.
-ci: build vet lint fmt-check cover race-parallel golden-gogcoff telemetry-check bench bench-alloc bench-speedup
+ci: build vet lint fmt-check cover race-parallel race-parallel-4 golden-gogcoff telemetry-check bench bench-alloc bench-speedup

@@ -382,6 +382,19 @@ func BenchmarkPerfGate(b *testing.B) {
 			if s.Telemetry != nil {
 				b.ReportMetric(float64(telStats.Bytes)/cycles, "telemetry-bytes/cycle")
 			}
+			if load.shards > 0 {
+				// The fused engine's synchronization budget, normalized
+				// by ticked (non-fast-forwarded) cycles: exactly one
+				// barrier per multi-shard cycle without an OnEject
+				// callback, and the count of boundary ports whose link
+				// decision fell back to the cycle-end serial replay
+				// (full downstream snapshot). Both are deterministic
+				// work counters, so the gate pins them where wall-clock
+				// speedup would be host noise.
+				ticked := cycles - float64(perf.SkippedCycles)
+				b.ReportMetric(float64(perf.Barriers)/ticked, "barriers/cycle")
+				b.ReportMetric(float64(perf.SerialReplayVisits)/ticked, "replay-visits/cycle")
+			}
 
 			// Steady-state allocation metrics: one further run on the
 			// warmed workspace, bracketed by exact allocator counters

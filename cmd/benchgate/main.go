@@ -12,11 +12,20 @@
 // metrics can still be tracked by adding ns/op entries to a local
 // baseline; they are compared the same way.
 //
+// A second mode maintains the tracked speedup history: -speedup-log
+// reads the knee-parallel bench's report-only wall metrics (gomaxprocs,
+// numcpu, shards, raw serial/parallel wall times, speedup) from the
+// same stream and appends one labeled record to a JSON array file
+// (BENCH_speedup.json), so runs on real multi-core hosts accumulate a
+// per-commit speedup trajectory next to the deterministic gate. No
+// baseline is consulted in this mode.
+//
 // Usage:
 //
 //	go test -json -bench=PerfGate -benchtime=1x -run='^$' . | benchgate -baseline bench-baseline.json
 //	benchgate -baseline bench-baseline.json -input bench-gate.json
 //	benchgate -baseline bench-baseline.json -input bench-gate.json -update
+//	go test -json -bench='PerfGate/knee-parallel' -benchtime=1x -run='^$' . | benchgate -speedup-log BENCH_speedup.json -label pr8
 package main
 
 import (
@@ -133,8 +142,26 @@ func main() {
 		baselinePath = flag.String("baseline", "bench-baseline.json", "committed baseline file")
 		inputPath    = flag.String("input", "", "bench output (go test -json stream); default stdin")
 		update       = flag.Bool("update", false, "rewrite the baseline's values from the observed run")
+		speedupLog   = flag.String("speedup-log", "", "append the knee-parallel speedup record to this JSON history instead of gating")
+		label        = flag.String("label", "local", "record label for -speedup-log (e.g. the PR or commit)")
 	)
 	flag.Parse()
+
+	if *speedupLog != "" {
+		in := io.Reader(os.Stdin)
+		if *inputPath != "" {
+			f, err := os.Open(*inputPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			in = f
+		}
+		if err := appendSpeedup(*speedupLog, *label, in); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	raw, err := os.ReadFile(*baselinePath)
 	if err != nil {
@@ -254,6 +281,89 @@ type result struct {
 	delta   float64
 	missing bool
 	failed  bool
+}
+
+// speedupRecord is one entry of the tracked speedup history
+// (BENCH_speedup.json): the knee-parallel bench's report-only wall
+// metrics plus the host parallelism that produced them. The speedup
+// figure is only meaningful relative to gomaxprocs/numcpu, which is why
+// they travel together.
+type speedupRecord struct {
+	Label      string  `json:"label"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"numcpu"`
+	Shards     int     `json:"shards"`
+	SerialNs   float64 `json:"serial_wall_ns"`
+	ParallelNs float64 `json:"parallel_wall_ns"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// appendSpeedup extracts the knee-parallel wall metrics from a bench
+// stream and appends one labeled record to the JSON-array history at
+// path (created when missing).
+func appendSpeedup(path, label string, in io.Reader) error {
+	got, err := collect(in)
+	if err != nil {
+		return err
+	}
+	const bench = "PerfGate/knee-parallel"
+	metric := func(unit string) (float64, error) {
+		v, ok := got[bench+"\x00"+unit]
+		if !ok {
+			return 0, fmt.Errorf("no %q metric for %s in the bench stream", unit, bench)
+		}
+		return v, nil
+	}
+	rec := speedupRecord{Label: label}
+	fields := []struct {
+		unit string
+		dst  *float64
+	}{
+		{"serial-wall-ns", &rec.SerialNs},
+		{"parallel-wall-ns", &rec.ParallelNs},
+		{"speedup", &rec.Speedup},
+	}
+	for _, f := range fields {
+		if *f.dst, err = metric(f.unit); err != nil {
+			return err
+		}
+	}
+	ints := []struct {
+		unit string
+		dst  *int
+	}{
+		{"gomaxprocs", &rec.GOMAXPROCS},
+		{"numcpu", &rec.NumCPU},
+		{"shards", &rec.Shards},
+	}
+	for _, f := range ints {
+		v, err := metric(f.unit)
+		if err != nil {
+			return err
+		}
+		*f.dst = int(v)
+	}
+
+	var history []speedupRecord
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &history); err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	history = append(history, rec)
+	out, err := json.MarshalIndent(history, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchgate: %s += {label %s, %d shards, gomaxprocs %d, speedup %.3gx} (%d records)\n",
+		path, rec.Label, rec.Shards, rec.GOMAXPROCS, rec.Speedup, len(history))
+	return nil
 }
 
 func fatal(err error) {

@@ -11,8 +11,11 @@ import (
 )
 
 // matrixShardCounts mirrors the noc-level matrix: the degenerate single
-// shard, even splits, and a count that does not divide 16 nodes.
-var matrixShardCounts = []int{1, 2, 4, 7}
+// shard, even splits, and prime counts that do not divide 16 nodes
+// (13-of-16 yields single-router shards). -1 exercises the automatic
+// width selection (min(GOMAXPROCS, routers/4), collapsing to the serial
+// engine when that is 1) through the same bit-identity proof.
+var matrixShardCounts = []int{1, 2, 3, 4, 7, 13, -1}
 
 // runParallelShards executes s under the activity-driven engine and
 // under the domain-decomposed engine at every matrix shard count, and
@@ -54,9 +57,10 @@ func runParallelShards(t *testing.T, s Scenario) Result {
 
 // The golden parallel matrix: the paper's three topologies at a load
 // below the knee, at the knee, and past saturation, under both wormhole
-// and virtual cut-through, at shard counts {1, 2, 4, 7}. Run output —
-// every field of Result, hence every figure the exp stack derives from
-// it — must be unchanged by the domain decomposition.
+// and virtual cut-through, at shard counts {1, 2, 3, 4, 7, 13} plus the
+// automatic width. Run output — every field of Result, hence every
+// figure the exp stack derives from it — must be unchanged by the
+// domain decomposition.
 func TestGoldenParallelMatrix(t *testing.T) {
 	type load struct {
 		name   string

@@ -158,10 +158,22 @@ func (w *Workspace) RunPerf(s Scenario) (Result, noc.PerfStats, error) {
 	}
 	w.gen = gen
 	gen.Start()
-	if s.StepParallel > 0 {
+	switch {
+	case s.StepParallel > 0:
 		net.SetShards(s.StepParallel)
 		net.SetEngine(noc.EngineParallel)
-	} else {
+	case s.StepParallel < 0:
+		// Auto width: let the network pick from GOMAXPROCS and its
+		// router count. A pick of 1 means the network is too small to
+		// decompose profitably — collapse to the configured serial
+		// engine (identical results, no worker group).
+		net.SetShards(0)
+		if net.Shards() > 1 {
+			net.SetEngine(noc.EngineParallel)
+		} else {
+			net.SetEngine(s.Engine)
+		}
+	default:
 		net.SetEngine(s.Engine)
 	}
 	// The parallel engine's shard workers park between cycles but hold

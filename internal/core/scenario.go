@@ -101,12 +101,16 @@ type Scenario struct {
 
 	// StepParallel, when positive, runs Network.Step domain-decomposed
 	// across that many router shards (noc.EngineParallel), overriding
-	// Engine. Like Engine it is excluded from the cache key and the
-	// serialized scenario: the parallel engine is bit-identical to the
-	// serial ones at every shard count (proven by the golden parallel
-	// matrix), so the knob changes wall-clock time, never results. Use
-	// it for lone long-running points — near and past saturation —
-	// where campaign-level parallelism has nothing left to parallelize.
+	// Engine; when negative, the shard count is chosen automatically
+	// (min(GOMAXPROCS, routers/4), collapsing to the serial engine when
+	// that is 1). Zero keeps the configured serial engine — campaigns
+	// default to spending the machine on scenario-level parallelism.
+	// Like Engine it is excluded from the cache key and the serialized
+	// scenario: the parallel engine is bit-identical to the serial ones
+	// at every shard count (proven by the golden parallel matrix), so
+	// the knob changes wall-clock time, never results. Use it for lone
+	// long-running points — near and past saturation — where
+	// campaign-level parallelism has nothing left to parallelize.
 	StepParallel int `json:"-"`
 
 	// Telemetry, when non-nil with a writer, streams a per-cycle

@@ -67,13 +67,16 @@ type Runner struct {
 	// domain-decomposed across that many router shards
 	// (Scenario.StepParallel) and divides the campaign-level worker
 	// count by the same factor, so the machine's parallelism budget is
-	// spent inside scenarios instead of across them. Results and all
-	// emitted byte streams are unchanged — the parallel engine is
-	// bit-identical and StepParallel is excluded from cache keys and
-	// serialization. Prefer campaign-level parallelism (many short
-	// points) and reserve StepShards for campaigns dominated by a few
-	// long saturation points, where a lone run should use the whole
-	// machine.
+	// spent inside scenarios instead of across them. Negative requests
+	// the automatic shard width per scenario (min(GOMAXPROCS,
+	// routers/4), serial when that is 1) WITHOUT dividing the worker
+	// budget — useful when scenario sizes vary and only the large ones
+	// should decompose. Results and all emitted byte streams are
+	// unchanged — the parallel engine is bit-identical and StepParallel
+	// is excluded from cache keys and serialization. Prefer
+	// campaign-level parallelism (many short points) and reserve
+	// StepShards for campaigns dominated by a few long saturation
+	// points, where a lone run should use the whole machine.
 	StepShards int
 	// Progress, when set, is called after each delivered outcome with
 	// the number of completed and total planned runs (the total grows
@@ -275,10 +278,11 @@ func (st *runState) runBatch(batch []task) error {
 	return pool.Ordered(st.ctx, len(batch), r.workerBudget(),
 		func(_ context.Context, i int) error {
 			t := &batch[i]
-			if r.StepShards > 1 && t.pt.Scenario.StepParallel == 0 {
+			if r.StepShards != 0 && t.pt.Scenario.StepParallel == 0 {
 				// Intra-scenario parallelism: invisible in cache keys,
 				// results and emitted records (StepParallel is
-				// result-neutral and never serialized).
+				// result-neutral and never serialized). Negative passes
+				// the auto-width request through to the engine.
 				t.pt.Scenario.StepParallel = r.StepShards
 			}
 			if r.Cache != nil {

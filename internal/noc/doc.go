@@ -20,8 +20,14 @@
 // flits move — so a cycle costs time proportional to in-flight work
 // rather than network size, and a fully quiescent network can
 // fast-forward across idle cycles via SkipTo. EngineParallel
-// (parallel.go) executes the same phases over contiguous router shards
-// with deterministic barriers. EngineSweep is the original
+// (parallel.go) runs ejection, switch+inject and link as ONE fused
+// shard-local pass over contiguous router shards, deferring every
+// cross-shard effect (link deliveries via per-shard-pair mailboxes
+// with cycle-start downstream-fullness snapshots, ejection and
+// statistic completions) to a single sense-reversing barrier per
+// cycle, where a serial section replays them in canonical router
+// order — two barriers only when an OnEject callback forces the
+// ejection span to split off. EngineSweep is the original
 // scan-everything reference; the cross-engine tests prove all three
 // produce bit-identical results for every scenario class.
 //

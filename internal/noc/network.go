@@ -51,10 +51,12 @@ type Network struct {
 	// parallel.go); the activity-driven worklists belong to
 	// EngineActive (the parallel engine keeps one worklists set per
 	// shard instead). The per-slot occupancy masks live on each router.
-	engine  Engine
-	wl      worklists // EngineActive's global phase worklists
-	visits  uint64    // per-phase router/source worklist visits
-	skipped uint64    // cycles fast-forwarded by SkipTo
+	engine   Engine
+	wl       worklists // EngineActive's global phase worklists
+	visits   uint64    // per-phase router/source worklist visits
+	skipped  uint64    // cycles fast-forwarded by SkipTo
+	barriers uint64    // parallel-engine worker barriers crossed
+	sreplays uint64    // boundary ports replayed in the serial section
 
 	// Domain decomposition state of EngineParallel (parallel.go):
 	// shards own contiguous router ranges (shardOf is the inverse
@@ -933,6 +935,7 @@ func (n *Network) Reset() {
 	n.created, n.ejected, n.injected, n.recycled = 0, 0, 0, 0
 	n.lastActivity, n.moved = 0, false
 	n.visits, n.skipped = 0, 0
+	n.barriers, n.sreplays = 0, 0
 	n.onEject = nil
 	n.wl.clear()
 	n.resetShards()

@@ -99,15 +99,28 @@ type PerfStats struct {
 	// state at sampling time (see Network.LiveStateBytes). Length-based
 	// and allocator-independent, so it is gateable like the counters.
 	LiveStateBytes uint64
+	// Barriers counts worker-group barriers crossed by the parallel
+	// engine: one per multi-shard cycle in the fused single-barrier
+	// shape, two when an OnEject callback forces the ejection split,
+	// zero for the serial engines and the single-shard decomposition.
+	// Deterministic, so the perf gate pins the synchronization budget.
+	Barriers uint64
+	// SerialReplayVisits counts cross-shard boundary ports whose link
+	// decision could not be taken speculatively (downstream snapshot
+	// full) and was replayed in the cycle-end serial section — the
+	// deterministic measure of the remaining serial fraction.
+	SerialReplayVisits uint64
 }
 
 // Perf returns the engine work counters accumulated so far.
 func (n *Network) Perf() PerfStats {
 	return PerfStats{
-		Engine:         n.engine.String(),
-		RouterVisits:   n.visits,
-		SkippedCycles:  n.skipped,
-		LiveStateBytes: n.LiveStateBytes(),
+		Engine:             n.engine.String(),
+		RouterVisits:       n.visits,
+		SkippedCycles:      n.skipped,
+		LiveStateBytes:     n.LiveStateBytes(),
+		Barriers:           n.barriers,
+		SerialReplayVisits: n.sreplays,
 	}
 }
 

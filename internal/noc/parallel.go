@@ -3,69 +3,94 @@ package noc
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 )
 
 // This file is the domain-decomposed parallel engine behind
 // Network.Step: EngineParallel splits the routers into a fixed set of
-// contiguous shards and executes each pipeline phase shard-parallel
-// with a barrier between phases, producing results bit-identical to
-// EngineActive (and hence EngineSweep) at every shard count.
+// contiguous shards and executes the whole cycle — ejection, switch
+// traversal + injection, link traversal — as ONE fused shard-local pass
+// per worker, meeting a single barrier per cycle, while producing
+// results bit-identical to EngineActive (and hence EngineSweep) at
+// every shard count.
 //
-// The decomposition exploits the phase structure of the cycle: the
-// ejection, switch-traversal and injection phases only ever touch the
-// state of one router/NI (input slots, own output queues, own source
-// queue), so shards can run them concurrently with no coordination at
-// all; only the link phase crosses routers (upstream output queue →
-// downstream input slot). Determinism follows the same discipline the
-// activity-driven engine established for arbitration:
+// The fusion rests on the conservative-PDES lookahead of the model: a
+// cross-shard effect (a link traversal into another shard's input
+// buffer) is not acted on by the receiving router until the NEXT
+// cycle's phases, so it can be deferred to a cycle-end mailbox without
+// changing any decision taken this cycle. Within a shard the fused pass
+// keeps the serial phase order (all ejections, then all switch+inject,
+// then all links over the shard's routers), so every shard-local read a
+// phase performs sees exactly the state the serial engine would.
+// Between shards, three couplings remain and each is resolved without a
+// mid-cycle barrier:
 //
-//   - Shard assignment is a pure function of router index and shard
-//     count — contiguous ranges [s·N/K, (s+1)·N/K) — never of goroutine
-//     scheduling. Concatenating the shards in index order reproduces
-//     the serial engines' ascending-node iteration order exactly.
-//   - Each shard drains its own bitmap worklists (a private worklists
-//     value, so no two shards share a bitmap word) in ascending node
-//     order, with the same cycle-derived round-robin pointers.
-//   - Cross-shard effects are buffered per shard and applied in
-//     canonical router-index order at a barrier: link traversals into
-//     another shard's router defer the input-slot push and its mask
-//     bookkeeping; ejection completions (statistics, the OnEject
-//     callback — which may inject new packets into any shard — and the
-//     arena recycle) defer to the barrier after the ejection phase;
-//     injection statistics defer to the end of the cycle. Within each
-//     buffer, records are appended in ascending node order, so the
-//     shard-order replay is exactly the serial engine's order.
+//   - Cross-shard link DELIVERY: the receiving slot is written into a
+//     per-shard-pair mailbox (outbox, one writer and one reader per
+//     pair, preallocated) and applied in canonical router order by the
+//     serial section at the barrier.
+//   - Cross-shard link DECISION: the only foreign state the link phase
+//     reads is the downstream input slot's fullness. Each input slot has
+//     exactly ONE upstream writer (its channel), so during a cycle its
+//     occupancy can only shrink (the owner pops, nobody else pushes)
+//     until this very port pushes. The engine therefore keeps a
+//     per-boundary-port snapshot of the downstream per-VC fullness taken
+//     at the previous barrier (outPort.downFull): snapshot says
+//     not-full ⇒ still not-full at the serial decision point, deliver
+//     speculatively; snapshot says full ⇒ the owner's pops this cycle
+//     may or may not have made room, so the WHOLE port's round-robin
+//     scan is deferred to the barrier, where it re-runs against exact
+//     post-pop state (replayBoundaryPort — counted by the
+//     serial-replay-visits perf counter). Both outcomes reproduce the
+//     serial decision exactly; with one-flit input buffers (the paper's
+//     default) the full-at-start case is common under load, which is
+//     why the replay-visit count is a gated perf metric.
+//   - Ejection completions: statistics and the arena recycle are
+//     deferred per shard and replayed in canonical order at the barrier.
+//     Without an OnEject callback this is unobservable mid-cycle (no
+//     lease or collector event happens between the ejection and the
+//     barrier), so the fused single-barrier cycle applies. WITH a
+//     callback, replies must inject the same cycle (serial engines run
+//     OnEject before the injection phase), so the engine falls back to
+//     a two-barrier cycle: an ejection span, a barrier replaying the
+//     completions (stats → OnEject → recycle), then a fused
+//     switch+inject+link span and the cycle-end barrier. The barriers
+//     perf counter records which shape ran.
 //
-// The packet arena needs no sharding: every lease and recycle — the
-// lease inside InjectPacket (generator events run between cycles;
-// OnEject replies run in the ejection replay) and the recycle at tail
-// ejection (also in the replay) — already happens in the serial
-// sections at the barriers, so arena growth and the free stack are
-// only ever touched single-threaded and the conservation accounting
-// holds verbatim. The per-record fields shards do write concurrently —
-// recv during ejection (each packet's flits eject at its unique
-// destination shard), injected during injection (each packet injects at
-// its unique source shard), hops and the per-flit lastMove stamps
-// during link traversal (each flit lives in exactly one queue) — are
-// distinct word-sized array elements, and the barriers' atomics order
-// them, so the engine stays race-clean. The deferred record buffers
-// keep their backing arrays across cycles and runs, so the parallel
-// engine adds no steady-state allocations of its own.
+// Determinism follows the same discipline as before: shard assignment
+// is a pure function of router index and shard count (contiguous ranges
+// [s·N/K, (s+1)·N/K)), each shard drains its own bitmap worklists in
+// ascending node order with cycle-derived round-robin pointers, and
+// every deferred buffer is appended in ascending node order and
+// replayed in shard order — exactly the serial engines' iteration
+// order. The boundary-port list of each shard (bports) is precomputed
+// at SetShards time in that same canonical order; the serial section
+// only walks records that exist instead of re-deriving the geometry.
 //
-// Execution uses one worker goroutine per shard beyond the first (the
-// caller's goroutine runs shard 0). Workers park on a channel between
-// cycles — an idle or reset network burns no CPU — and synchronize
-// through two atomics within a cycle: seq releases the next span,
-// pending counts shards still in the current one. Both are
-// acquire/release pairs, so all cross-shard memory movement is ordered
-// (and the engine is clean under the race detector). The spin loops
-// yield to the scheduler after a short budget, which keeps the engine
-// live (if slow) even at GOMAXPROCS=1.
+// The packet arena needs no sharding: every lease and recycle happens
+// in the serial sections at the barriers (generator events run between
+// cycles; OnEject replies run in the ejection replay), so arena growth
+// and the free stack are only ever touched single-threaded. The
+// per-record fields shards write concurrently — recv during ejection,
+// injected during injection, hops and lastMove during link traversal —
+// are distinct word-sized array elements owned by exactly one shard at
+// any time, and the barrier atomics order them, so the engine stays
+// race-clean.
+//
+// Synchronization is a generation (sense-reversing) barrier: the
+// coordinator publishes the pass kind, re-arms a countdown and bumps an
+// atomic generation; workers spin on the generation with a budget
+// derived from GOMAXPROCS and the shard count (zero — straight to
+// Gosched — on a single P), yield for a while, then park on a buffered
+// wake channel with a publish-then-recheck handshake so no release can
+// be lost. An idle or reset network burns no CPU; StopWorkers joins the
+// goroutines, so no worker can outlive its network.
 
 // parShard is one domain of the decomposition: a contiguous router
-// range, its private phase worklists, per-cycle scratch counters, and
-// the deferred-effect buffers replayed at the barriers.
+// range, its private phase worklists, per-cycle scratch counters, the
+// deferred-effect buffers replayed at the barrier, and the precomputed
+// boundary-port geometry.
 type parShard struct {
 	idx    int // shard index (== position in Network.shards)
 	lo, hi int // owned router range [lo, hi)
@@ -75,21 +100,48 @@ type parShard struct {
 	moved  bool   // any flit progress this cycle, merged at cycle end
 
 	// ej holds this cycle's fully ejected packets (arena indices) in
-	// pop order; the barrier after the ejection phase replays them
-	// (statistics, OnEject, arena recycle) in shard order == ascending
-	// node order.
+	// pop order; the barrier replays them (statistics, OnEject, arena
+	// recycle) in shard order == ascending node order.
 	ej []int32
 	// stats holds this cycle's injection-phase collector events in
 	// visit order, replayed at cycle end.
 	stats []statRecord
-	// xpush holds this cycle's link traversals into other shards'
-	// routers, applied at cycle end in shard order.
-	xpush []pushRecord
+
+	// bports lists this shard's cross-shard output ports in canonical
+	// (ascending node, port) order — precomputed by buildShards, so the
+	// per-cycle serial section never re-derives the cut geometry.
+	bports []bport
+	// outbox[t] is the mailbox of speculative link deliveries into
+	// shard t this cycle: written only by this shard during its fused
+	// pass, read only by the serial section at the barrier. Preallocated
+	// small (initialMailboxCap) and grown on demand up to at most one
+	// record per boundary port; the backing arrays persist across cycles
+	// and runs, so the steady state appends without allocating.
+	outbox [][]pushRecord
+	// defers lists the boundary ports whose link decision could not be
+	// taken speculatively this cycle (downstream snapshot full); the
+	// barrier replays each with exact occupancy, in append == canonical
+	// order.
+	defers []bport
 
 	// pad keeps neighbouring shards' hot scratch fields off one cache
 	// line (the structs live in one slice).
 	_ [64]byte
 }
+
+// bport names one cross-shard output port: the owning router and the
+// port itself (whose ch/peer/peerRouter fields carry the rest).
+type bport struct {
+	node int32
+	op   *outPort
+}
+
+// initialMailboxCap is the preallocated capacity of each per-shard-pair
+// mailbox. Deliberately smaller than the worst case (one record per
+// boundary port per cycle): a first burst grows the slice once and the
+// high-water backing array is kept forever after, which the
+// mailbox-growth tests pin down.
+const initialMailboxCap = 4
 
 // statRecord is one deferred injection-phase collector event: a packet
 // acceptance (injected, with its flit count) or a source-blocked cycle.
@@ -107,23 +159,64 @@ type pushRecord struct {
 	h    flitH
 }
 
-// parRun is the worker group of a running parallel network: one parked
-// goroutine per shard beyond shard 0, released once per cycle through
-// its start channel and paced through the cycle's spans by seq/pending.
+// Pass kinds a barrier release carries (parRun.mode).
+const (
+	passFused = iota // ejection + switch/inject + link in one pass
+	passEject        // ejection only (OnEject cycles)
+	passRest         // switch/inject + link (OnEject cycles)
+)
+
+// parRun is the worker group of a running parallel network: one
+// goroutine per shard beyond shard 0, released through a generation
+// barrier once (or, with an OnEject callback, twice) per cycle.
 type parRun struct {
-	start   []chan struct{} // one per worker (shards[1:]), buffered 1
-	seq     atomic.Uint64   // span sequence; incremented to release a span
-	pending atomic.Int64    // shards still inside the current span
-	spin    int             // busy-spin budget before yielding
+	gen     atomic.Uint64 // release generation; bumped to open a pass
+	pending atomic.Int64  // workers still inside the released pass
+	stop    atomic.Bool   // set before the final bump to terminate
+	mode    int           // pass kind, published before the gen bump
+	spin    int           // busy-spin budget before yielding
+
+	parked []atomic.Bool   // worker w blocked (or blocking) on wake[w]
+	wake   []chan struct{} // buffered(1) wake tokens, one per worker
+	wg     sync.WaitGroup  // joined by StopWorkers
 }
 
-// defaultShards picks the shard count when none was configured: the
-// machine's parallelism, bounded by the network size. Results are
-// bit-identical at every count, so the default only affects speed.
+// yieldBudget is how many runtime.Gosched rounds a worker inserts
+// between spinning and parking: long enough that back-to-back cycles
+// on a busy machine never pay the park/wake channel round-trip, short
+// enough that an idle gap parks quickly.
+const yieldBudget = 64
+
+// spinBudget derives the busy-spin budget from the machine parallelism
+// and the worker-group width: with shards ≤ GOMAXPROCS every worker
+// owns a P and a pass ends within microseconds, so the full budget
+// applies; oversubscribed groups scale it down (a spinning worker is
+// stealing the P of the one that would end the wait); a single P spins
+// not at all and goes straight to Gosched.
+func spinBudget(shards int) int {
+	const base = 4096
+	p := runtime.GOMAXPROCS(0)
+	if p <= 1 {
+		return 0
+	}
+	b := base * p / shards
+	if b > base {
+		b = base
+	}
+	return b
+}
+
+// defaultShards picks the shard count when none was configured:
+// min(GOMAXPROCS, routers/4), at least 1. The nodes/4 floor keeps
+// shards from shrinking below the size where the per-cycle barrier
+// costs more than the shard's phase work; a result of 1 means the
+// network is too small to decompose profitably and callers collapse to
+// the serial engine. Results are bit-identical at every count, so the
+// default only affects speed.
 func defaultShards(nodes int) int {
 	k := runtime.GOMAXPROCS(0)
-	if k > nodes {
-		k = nodes
+	if q := nodes / 4; k > q {
+		k = q
 	}
 	if k < 1 {
 		k = 1
@@ -132,14 +225,15 @@ func defaultShards(nodes int) int {
 }
 
 // SetShards configures the domain width of EngineParallel: k contiguous
-// router shards (clamped to [1, nodes]). Calling it while the parallel
-// engine is active rebuilds the decomposition in place — mid-run is
-// fine, results do not depend on the shard count; otherwise the value
-// is stored for the next SetEngine(EngineParallel).
+// router shards (clamped to [1, nodes]); k <= 0 selects the automatic
+// width (defaultShards). Calling it while the parallel engine is active
+// rebuilds the decomposition in place — mid-run is fine, results do not
+// depend on the shard count; otherwise the value is stored for the next
+// SetEngine(EngineParallel).
 func (n *Network) SetShards(k int) {
 	nodes := n.topo.Nodes()
-	if k < 1 {
-		k = 1
+	if k <= 0 {
+		k = defaultShards(nodes)
 	}
 	if k > nodes {
 		k = nodes
@@ -159,10 +253,12 @@ func (n *Network) SetShards(k int) {
 func (n *Network) Shards() int { return n.shardCount }
 
 // buildShards (re)allocates the shard array for the configured count,
-// with ranges [s·N/K, (s+1)·N/K) and the inverse lookup table. An
+// with ranges [s·N/K, (s+1)·N/K), the inverse lookup table, each
+// shard's canonical boundary-port list and the per-pair mailboxes. An
 // already-built decomposition of the same width is kept — its worklist
-// bitmaps and deferred-buffer capacity stay warm across workspace
-// reuse (the caller re-derives the worklist contents either way).
+// bitmaps, boundary lists and mailbox capacity stay warm across
+// workspace reuse (the caller re-derives the worklist contents either
+// way).
 func (n *Network) buildShards() {
 	nodes := n.topo.Nodes()
 	k := n.shardCount
@@ -183,23 +279,44 @@ func (n *Network) buildShards() {
 			n.shardOf[v] = int32(s)
 		}
 	}
+	// Second pass (shardOf must be complete): precompute the canonical
+	// boundary-port lists and size the mailboxes.
+	for s := 0; s < k; s++ {
+		sh := &n.shards[s]
+		sh.outbox = make([][]pushRecord, k)
+		for v := sh.lo; v < sh.hi; v++ {
+			for _, op := range n.routers[v].out {
+				if int(n.shardOf[op.ch.Dst]) != s {
+					sh.bports = append(sh.bports, bport{node: int32(v), op: op})
+				}
+			}
+		}
+		for _, bp := range sh.bports {
+			t := n.shardOf[bp.op.ch.Dst]
+			if sh.outbox[t] == nil {
+				sh.outbox[t] = make([]pushRecord, 0, initialMailboxCap)
+			}
+		}
+	}
 }
 
-// rebuildParallelSets recomputes the slot masks and distributes every
-// node's worklist membership to its owning shard — the parallel
-// counterpart of rebuildActiveSets, run on engine entry and whenever
-// the decomposition changes.
+// rebuildParallelSets recomputes the slot masks, distributes every
+// node's worklist membership to its owning shard, and refreshes the
+// boundary snapshots — the parallel counterpart of rebuildActiveSets,
+// run on engine entry and whenever the decomposition changes.
 func (n *Network) rebuildParallelSets() {
 	for i := range n.shards {
 		n.shards[i].wl.clear()
 	}
 	n.rebuildWorklists(func(node int) *worklists { return &n.shards[n.shardOf[node]].wl })
+	n.refreshBoundarySnapshots()
 }
 
-// resetShards clears the per-shard worklists and scratch during
-// Network.Reset, keeping the shard geometry and the deferred buffers'
-// backing arrays, and parks the worker group (a reset network may next
-// run under a different engine, or not at all).
+// resetShards clears the per-shard worklists, scratch and boundary
+// snapshots during Network.Reset (which has just emptied every buffer),
+// keeping the shard geometry and the deferred buffers' backing arrays,
+// and parks the worker group (a reset network may next run under a
+// different engine, or not at all).
 func (n *Network) resetShards() {
 	n.StopWorkers()
 	for i := range n.shards {
@@ -207,6 +324,9 @@ func (n *Network) resetShards() {
 		s.wl.clear()
 		s.visits, s.moved = 0, false
 		s.clearScratch()
+		for _, bp := range s.bports {
+			bp.op.downFull = 0
+		}
 	}
 }
 
@@ -216,7 +336,10 @@ func (n *Network) resetShards() {
 func (s *parShard) clearScratch() {
 	s.ej = s.ej[:0]
 	s.stats = s.stats[:0]
-	s.xpush = s.xpush[:0]
+	s.defers = s.defers[:0]
+	for t := range s.outbox {
+		s.outbox[t] = s.outbox[t][:0]
+	}
 }
 
 // startWorkers launches the worker group: one goroutine per shard
@@ -225,109 +348,156 @@ func (s *parShard) clearScratch() {
 // network idles between runs.
 func (n *Network) startWorkers() {
 	k := len(n.shards)
-	pr := &parRun{start: make([]chan struct{}, k-1)}
-	if runtime.GOMAXPROCS(0) > 1 {
-		// With real parallelism a span ends within microseconds; spin
-		// briefly before yielding. On a single P spinning only delays
-		// the goroutine that would end the wait.
-		pr.spin = 4096
+	pr := &parRun{
+		spin:   spinBudget(k),
+		parked: make([]atomic.Bool, k-1),
+		wake:   make([]chan struct{}, k-1),
 	}
-	for i := range pr.start {
-		pr.start[i] = make(chan struct{}, 1)
+	for i := range pr.wake {
+		pr.wake[i] = make(chan struct{}, 1)
 	}
+	pr.wg.Add(k - 1)
 	for i := 1; i < k; i++ {
 		go n.shardWorker(i, pr)
 	}
 	n.pr = pr
 }
 
-// StopWorkers terminates the parallel engine's worker goroutines (a
-// no-op when none are running). It is called automatically by Reset,
-// SetShards and any engine switch; call it directly when discarding a
-// network that stepped under EngineParallel, so no parked goroutine
-// pins the network in memory. The network remains fully usable — the
-// next parallel Step restarts the group.
+// StopWorkers terminates the parallel engine's worker goroutines and
+// joins them (a no-op when none are running): when it returns, no
+// goroutine of the group exists, parked or otherwise. It is called
+// automatically by Reset, SetShards and any engine switch; call it
+// directly when discarding a network that stepped under EngineParallel.
+// The network remains fully usable — the next parallel Step restarts
+// the group.
 func (n *Network) StopWorkers() {
-	if n.pr == nil {
+	pr := n.pr
+	if pr == nil {
 		return
 	}
-	for _, c := range n.pr.start {
-		close(c)
+	pr.stop.Store(true)
+	pr.gen.Add(1)
+	for w := range pr.wake {
+		select {
+		case pr.wake[w] <- struct{}{}:
+		default: // a token is already pending; the worker will wake
+		}
 	}
+	pr.wg.Wait()
 	n.pr = nil
 }
 
-// shardWorker is the per-shard goroutine: released once per cycle, it
-// runs the three spans of its shard, announcing each completion on
-// pending and waiting on seq for the next span's release.
+// shardWorker is the per-shard goroutine: it waits on the generation
+// barrier, runs the released pass over its shard, announces completion
+// on pending, and exits when the stop flag accompanies a release.
 func (n *Network) shardWorker(i int, pr *parRun) {
+	defer pr.wg.Done()
 	s := &n.shards[i]
-	for range pr.start[i-1] {
-		seq := pr.seq.Load()
-		n.parEject(s)
-		pr.pending.Add(-1)
-		seq = pr.waitSeq(seq)
-		n.parSwitchInject(s)
-		pr.pending.Add(-1)
-		pr.waitSeq(seq)
-		n.parLink(s)
+	last := uint64(0)
+	for {
+		g := pr.awaitRelease(i-1, last)
+		if pr.stop.Load() {
+			return
+		}
+		last = g
+		switch pr.mode {
+		case passFused:
+			n.parEject(s)
+			n.parSwitchInject(s)
+			n.parLink(s)
+		case passEject:
+			n.parEject(s)
+		default: // passRest
+			n.parSwitchInject(s)
+			n.parLink(s)
+		}
 		pr.pending.Add(-1)
 	}
 }
 
-// waitSeq spins until the span sequence moves past last, yielding to
-// the scheduler once the spin budget is spent.
-func (pr *parRun) waitSeq(last uint64) uint64 {
-	for i := 0; ; i++ {
-		if v := pr.seq.Load(); v != last {
-			return v
+// awaitRelease blocks worker w until the generation moves past last:
+// spin for the budget, yield for a while, then park on the wake channel.
+// The park publishes intent (parked[w]) and RE-CHECKS the generation
+// before blocking, so a release that raced the publish is never missed;
+// the coordinator's wake tokens are buffered, so a token sent to a
+// worker that un-parked itself is consumed (and discarded by the
+// re-check loop) on the next park instead of deadlocking anyone.
+func (pr *parRun) awaitRelease(w int, last uint64) uint64 {
+	spin := 0
+	for {
+		if g := pr.gen.Load(); g != last {
+			return g
 		}
-		if i >= pr.spin {
+		spin++
+		switch {
+		case spin <= pr.spin:
+			// busy wait
+		case spin <= pr.spin+yieldBudget:
+			runtime.Gosched()
+		default:
+			pr.parked[w].Store(true)
+			if g := pr.gen.Load(); g != last {
+				pr.parked[w].Store(false)
+				return g
+			}
+			<-pr.wake[w]
+			pr.parked[w].Store(false)
+			spin = 0
+		}
+	}
+}
+
+// release opens a pass for the workers: the pass kind is published
+// first, pending re-armed, then the generation bump releases spinning
+// workers (the atomic bump orders every serial-section write before it,
+// arena growth from leases included) and parked workers get a wake
+// token.
+func (pr *parRun) release(mode, workers int) {
+	pr.mode = mode
+	pr.pending.Store(int64(workers))
+	pr.gen.Add(1)
+	for w := range pr.parked {
+		if pr.parked[w].Load() {
+			select {
+			case pr.wake[w] <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// await blocks the coordinator until every worker finished the pass.
+func (pr *parRun) await() {
+	for spin := 0; pr.pending.Load() != 0; spin++ {
+		if spin >= pr.spin {
 			runtime.Gosched()
 		}
 	}
 }
 
-// awaitShards blocks until every shard finished the current span.
-func (n *Network) awaitShards() {
-	pr := n.pr
-	for i := 0; pr.pending.Load() != 0; i++ {
-		if i >= pr.spin {
-			runtime.Gosched()
-		}
-	}
-}
-
-// releaseSpan opens the next span for the workers: pending is re-armed
-// first, then the seq bump publishes it (workers load seq with acquire
-// semantics, so they observe the reset counter and every serial-section
-// write that preceded the bump — including arena growth from leases in
-// the serial sections).
-func (n *Network) releaseSpan() {
-	pr := n.pr
-	pr.pending.Store(int64(len(n.shards) - 1))
-	pr.seq.Add(1)
-}
-
-// stepParallel advances one cycle under the domain decomposition:
+// stepParallel advances one cycle under the domain decomposition. The
+// common shape (no OnEject callback) is the single-barrier fused cycle:
 //
-//	span A   (parallel) ejection phase, completions deferred
-//	barrier  (serial)   ejection replay: stats → OnEject → recycle
-//	span B   (parallel) switch traversal + injection, stats deferred
-//	barrier
-//	span C   (parallel) link traversal, cross-shard arrivals deferred
-//	barrier  (serial)   cross-shard applies, stats replay, cycle close
+//	fused pass (parallel)  ejection → switch+inject → link per shard;
+//	                       ejection/stat completions and cross-shard
+//	                       deliveries deferred, undecidable boundary
+//	                       ports queued for replay
+//	barrier     (serial)   ejection replay, deferred boundary-port
+//	                       replays, mailbox applies, stats replay,
+//	                       cycle close, snapshot refresh
 //
-// The spans need no finer interleaving control: phases A and B touch
-// only shard-local state, and C's only cross-shard reads (downstream
-// input-slot occupancy) are stable for the whole span because each
-// input port has exactly one upstream writer and all pops happened in
-// earlier phases.
+// With an OnEject callback the replies must inject the same cycle, so
+// the ejection span splits off and the cycle pays a second barrier:
+//
+//	ejection pass (parallel) → barrier: replay (stats → OnEject →
+//	recycle) → fused switch+inject+link pass (parallel) → barrier:
+//	cycle-end serial section as above
 func (n *Network) stepParallel() {
 	n.moved = false
 	if len(n.shards) == 1 {
 		// Degenerate single-shard decomposition: same machinery minus
-		// the workers — still exercises the deferred-replay paths.
+		// the workers and barriers — still exercises the deferred-replay
+		// paths.
 		s := &n.shards[0]
 		n.parEject(s)
 		n.replayEjections()
@@ -340,19 +510,28 @@ func (n *Network) stepParallel() {
 		n.startWorkers()
 	}
 	pr := n.pr
-	n.releaseSpan()
-	for _, c := range pr.start {
-		c <- struct{}{}
+	workers := len(n.shards) - 1
+	s0 := &n.shards[0]
+	if n.onEject == nil {
+		pr.release(passFused, workers)
+		n.parEject(s0)
+		n.parSwitchInject(s0)
+		n.parLink(s0)
+		pr.await()
+		n.barriers++
+		n.replayEjections()
+	} else {
+		pr.release(passEject, workers)
+		n.parEject(s0)
+		pr.await()
+		n.barriers++
+		n.replayEjections()
+		pr.release(passRest, workers)
+		n.parSwitchInject(s0)
+		n.parLink(s0)
+		pr.await()
+		n.barriers++
 	}
-	n.parEject(&n.shards[0])
-	n.awaitShards()
-	n.replayEjections()
-	n.releaseSpan()
-	n.parSwitchInject(&n.shards[0])
-	n.awaitShards()
-	n.releaseSpan()
-	n.parLink(&n.shards[0])
-	n.awaitShards()
 	n.finishParallelCycle()
 }
 
@@ -405,7 +584,10 @@ func (n *Network) parEject(s *parShard) {
 // by the ascending-node walk, is exactly the serial engines' ejection
 // order. Statistics, the OnEject callback (whose reply injections may
 // lease from the arena and land in any shard's source worklist) and the
-// recycle therefore interleave precisely as in EngineActive.
+// recycle therefore interleave precisely as in EngineActive. In the
+// fused (callback-free) cycle this runs at the cycle-end barrier: no
+// lease, recycle or collector event can occur between a tail ejection
+// and the barrier, so deferring the completions there is unobservable.
 func (n *Network) replayEjections() {
 	a := &n.arena
 	for i := range n.shards {
@@ -517,13 +699,11 @@ func (n *Network) parInject(s *parShard) {
 }
 
 // parLink mirrors activeLink over one shard's link worklist. Arrivals
-// into a router of the same shard are applied directly (the serial
-// order within a shard is the serial engines' order); arrivals into
-// another shard are deferred to the end-of-cycle replay, which applies
-// them in canonical router-index order. Both paths are
-// decision-equivalent to the serial engines: an input port has exactly
-// one upstream output port, so the occupancy this phase reads cannot be
-// changed by any other shard during the span.
+// into a router of the same shard are applied directly with exact
+// occupancy checks (all of this shard's pops already ran in the fused
+// pass, and no other shard pushes into this shard's input slots).
+// Cross-shard arrivals use the speculative snapshot discipline of
+// parLinkPort.
 func (n *Network) parLink(s *parShard) {
 	vcs := n.alg.VCs()
 	rrVC := int(n.modTab[vcs]) // every port has alg.VCs() queues
@@ -540,9 +720,99 @@ func (n *Network) parLink(s *parShard) {
 	})
 }
 
-// parLinkPort mirrors linkPort with the cross-shard deferral.
+// parLinkPort mirrors linkPort under the fused pass. For a same-shard
+// destination the downstream fullness read is exact (see parLink). For
+// a cross-shard destination the decision consults the cycle-start
+// snapshot (outPort.downFull): a clear bit proves the slot still has
+// room at the serial decision point (its occupancy can only have
+// shrunk — the single producer is this port), so the flit is delivered
+// speculatively into the pair mailbox; a set bit means the owner's
+// pops this cycle decide, so the whole port defers to the barrier's
+// exact replay. Both reproduce the serial round-robin outcome exactly.
 func (n *Network) parLinkPort(s *parShard, node int, r *router, op *outPort, occ uint64, vcs, rr int) {
 	a := &n.arena
+	for k := 0; k < vcs; k++ {
+		vi := rr + k
+		if vi >= vcs {
+			vi -= vcs
+		}
+		if occ&(1<<uint(vi)) == 0 {
+			continue
+		}
+		v := op.vcs[vi]
+		h := v.head()
+		fi := a.flitIndex(h)
+		if a.lastMove[fi] >= n.cycle+1 {
+			continue
+		}
+		if !n.canDepart(v) {
+			continue
+		}
+		dst := op.ch.Dst
+		if t := int(n.shardOf[dst]); t != s.idx {
+			if op.downFull&(1<<uint(vi)) != 0 {
+				// Undecidable locally: the slot was full when the cycle
+				// started and only its owner knows whether this cycle's
+				// pops made room. Defer the whole port (nothing was
+				// popped, so the barrier replay re-runs the identical
+				// round-robin scan against exact state).
+				s.defers = append(s.defers, bport{node: int32(node), op: op})
+				return
+			}
+			n.outPop(&s.wl, node, r, op, vi)
+			a.lastMove[fi] = n.cycle + 1
+			if h.seq() == 0 {
+				a.hops[h.pkt()]++
+			}
+			n.linkFlits[op.ch.ID]++
+			s.outbox[t] = append(s.outbox[t], pushRecord{node: dst, p: op.peer, vc: vi, h: h})
+			s.moved = true
+			return // one flit per physical link per cycle
+		}
+		ip := op.peer
+		if ip.full(vi, n.cfg.InBufCap) {
+			continue
+		}
+		n.outPop(&s.wl, node, r, op, vi)
+		a.lastMove[fi] = n.cycle + 1
+		if h.seq() == 0 {
+			a.hops[h.pkt()]++
+		}
+		n.linkFlits[op.ch.ID]++
+		n.inPush(&s.wl, dst, op.peerRouter, ip, vi, h)
+		s.moved = true
+		return // one flit per physical link per cycle
+	}
+}
+
+// replayDeferredLinks re-runs, in canonical order, the round-robin scan
+// of every boundary port whose decision was deferred, now against exact
+// downstream occupancy (all shards' pops are done; the only producer of
+// each examined slot is the deferred port itself, which moved nothing).
+// Link decisions are pairwise independent — each reads its own output
+// queue and its unique downstream slot — so replaying them after the
+// barrier instead of inside the serial engine's link sweep changes no
+// outcome.
+func (n *Network) replayDeferredLinks() {
+	vcs := n.alg.VCs()
+	rr := int(n.modTab[vcs])
+	for i := range n.shards {
+		s := &n.shards[i]
+		for _, bp := range s.defers {
+			n.sreplays++
+			n.replayBoundaryPort(s, int(bp.node), bp.op, vcs, rr)
+		}
+		s.defers = s.defers[:0]
+	}
+}
+
+// replayBoundaryPort is the exact (serial-section) form of parLinkPort
+// for one deferred port, pushing straight into the owning shard's
+// worklists.
+func (n *Network) replayBoundaryPort(s *parShard, node int, op *outPort, vcs, rr int) {
+	a := &n.arena
+	r := n.routers[node]
+	occ := r.outOcc.port(op.slotBase, vcs)
 	for k := 0; k < vcs; k++ {
 		vi := rr + k
 		if vi >= vcs {
@@ -570,28 +840,53 @@ func (n *Network) parLinkPort(s *parShard, node int, r *router, op *outPort, occ
 			a.hops[h.pkt()]++
 		}
 		n.linkFlits[op.ch.ID]++
-		if dst := op.ch.Dst; int(n.shardOf[dst]) == s.idx {
-			n.inPush(&s.wl, dst, op.peerRouter, ip, vi, h)
-		} else {
-			s.xpush = append(s.xpush, pushRecord{node: dst, p: ip, vc: vi, h: h})
-		}
-		s.moved = true
+		dst := op.ch.Dst
+		n.inPush(&n.shards[n.shardOf[dst]].wl, dst, op.peerRouter, ip, vi, h)
+		n.moved = true
 		return // one flit per physical link per cycle
 	}
 }
 
-// finishParallelCycle is the end-of-cycle serial section: apply the
-// cross-shard link arrivals in canonical order, replay the deferred
-// injection statistics, merge the per-shard scratch counters, and close
-// the cycle exactly as stepActive does.
-func (n *Network) finishParallelCycle() {
+// refreshBoundarySnapshots recomputes every boundary port's downstream
+// per-VC fullness snapshot from the buffers. It runs in the serial
+// section at each cycle close (and on any rebuild), after all pops,
+// mailbox applies and deferred replays — i.e. at exactly the instant
+// the next cycle's speculation treats as "cycle start".
+func (n *Network) refreshBoundarySnapshots() {
+	bufCap := n.cfg.InBufCap
 	for i := range n.shards {
 		s := &n.shards[i]
-		for _, rec := range s.xpush {
-			wl := &n.shards[n.shardOf[rec.node]].wl
-			n.inPush(wl, rec.node, n.routers[rec.node], rec.p, rec.vc, rec.h)
+		for _, bp := range s.bports {
+			ip := bp.op.peer
+			var full uint64
+			for vc := range ip.bufs {
+				if ip.bufs[vc].len() >= bufCap {
+					full |= 1 << uint(vc)
+				}
+			}
+			bp.op.downFull = full
 		}
-		s.xpush = s.xpush[:0]
+	}
+}
+
+// finishParallelCycle is the end-of-cycle serial section: replay the
+// deferred boundary-port decisions exactly, apply the speculative
+// cross-shard arrivals from the per-pair mailboxes in canonical order,
+// replay the deferred injection statistics, merge the per-shard scratch
+// counters, close the cycle exactly as stepActive does, and refresh the
+// boundary snapshots for the next cycle's speculation.
+func (n *Network) finishParallelCycle() {
+	n.replayDeferredLinks()
+	for t := range n.shards {
+		wl := &n.shards[t].wl
+		for i := range n.shards {
+			s := &n.shards[i]
+			box := s.outbox[t]
+			for _, rec := range box {
+				n.inPush(wl, rec.node, n.routers[rec.node], rec.p, rec.vc, rec.h)
+			}
+			s.outbox[t] = box[:0]
+		}
 	}
 	for i := range n.shards {
 		s := &n.shards[i]
@@ -622,19 +917,23 @@ func (n *Network) finishParallelCycle() {
 		}
 		n.modTab[d] = v
 	}
+	n.refreshBoundarySnapshots()
 }
 
 // checkParallelInvariants proves the cross-shard bookkeeping the
 // parallel engine adds on top of the per-node worklist invariants: the
 // shard ranges tile the node space as the pure assignment function
 // dictates, no shard's worklists hold a node outside its range (a
-// foreign member would be drained by the wrong goroutine), and — at
-// every cycle boundary — the deferred-effect buffers are empty and the
-// scratch counters merged, so no packet, credit or statistic is parked
-// between shards. Together with CheckConservation's global packet and
-// arena accounting this proves cross-shard conservation: every flit
-// that left one shard's output queue arrived in the owning shard's
-// input bookkeeping the same cycle.
+// foreign member would be drained by the wrong goroutine), the
+// precomputed boundary-port lists name exactly the cross-shard output
+// ports in canonical order with downstream snapshots that match the
+// buffers, and — at every cycle boundary — the deferred-effect buffers
+// and every per-pair mailbox are empty and the scratch counters merged,
+// so no packet, credit or statistic is parked between shards. Together
+// with CheckConservation's global packet and arena accounting this
+// proves cross-shard conservation: every flit that left one shard's
+// output queue arrived in the owning shard's input bookkeeping the same
+// cycle.
 func (n *Network) checkParallelInvariants() error {
 	nodes := n.topo.Nodes()
 	k := n.shardCount
@@ -661,9 +960,48 @@ func (n *Network) checkParallelInvariants() error {
 					bad, i, set.name, n.shardOf[bad])
 			}
 		}
-		if len(s.ej) != 0 || len(s.stats) != 0 || len(s.xpush) != 0 {
-			return fmt.Errorf("noc: shard %d holds unreplayed deferred effects at a cycle boundary (%d ejections, %d stats, %d link arrivals)",
-				i, len(s.ej), len(s.stats), len(s.xpush))
+		if len(s.ej) != 0 || len(s.stats) != 0 || len(s.defers) != 0 {
+			return fmt.Errorf("noc: shard %d holds unreplayed deferred effects at a cycle boundary (%d ejections, %d stats, %d deferred link ports)",
+				i, len(s.ej), len(s.stats), len(s.defers))
+		}
+		if len(s.outbox) != k {
+			return fmt.Errorf("noc: shard %d has %d mailboxes for %d shards", i, len(s.outbox), k)
+		}
+		for t := range s.outbox {
+			if len(s.outbox[t]) != 0 {
+				return fmt.Errorf("noc: shard %d->%d mailbox holds %d undelivered link arrivals at a cycle boundary",
+					i, t, len(s.outbox[t]))
+			}
+		}
+		// The boundary-port list must be exactly the shard's cross-shard
+		// output ports in canonical (ascending node, port) order, and
+		// each snapshot must equal the buffer-derived fullness — a stale
+		// snapshot would let the next cycle speculate wrongly.
+		bi := 0
+		for v := s.lo; v < s.hi; v++ {
+			for _, op := range n.routers[v].out {
+				if int(n.shardOf[op.ch.Dst]) == i {
+					continue
+				}
+				if bi >= len(s.bports) || s.bports[bi].op != op || int(s.bports[bi].node) != v {
+					return fmt.Errorf("noc: shard %d boundary-port list out of order or incomplete at node %d", i, v)
+				}
+				ip := op.peer
+				var full uint64
+				for vc := range ip.bufs {
+					if ip.bufs[vc].len() >= n.cfg.InBufCap {
+						full |= 1 << uint(vc)
+					}
+				}
+				if op.downFull != full {
+					return fmt.Errorf("noc: boundary port %d->%d snapshot %#x disagrees with downstream buffers %#x",
+						v, op.ch.Dst, op.downFull, full)
+				}
+				bi++
+			}
+		}
+		if bi != len(s.bports) {
+			return fmt.Errorf("noc: shard %d lists %d boundary ports, geometry has %d", i, len(s.bports), bi)
 		}
 		if s.visits != 0 || s.moved {
 			return fmt.Errorf("noc: shard %d scratch counters not merged at a cycle boundary", i)

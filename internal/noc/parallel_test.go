@@ -2,7 +2,9 @@ package noc
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"gonoc/internal/routing"
 	"gonoc/internal/sim"
@@ -11,9 +13,10 @@ import (
 )
 
 // parallelShardCounts is the matrix every parallel test sweeps: the
-// degenerate single shard, even splits, and a count that does not
-// divide the node counts used (so ranges have mixed sizes).
-var parallelShardCounts = []int{1, 2, 4, 7}
+// degenerate single shard, even splits, and prime counts that do not
+// divide the node counts used (so ranges have mixed sizes, down to
+// single-router shards at 13-of-16).
+var parallelShardCounts = []int{1, 2, 3, 4, 7, 13}
 
 // newParallelNet builds a parallel-engine network with k shards over
 // the given fabric, registering worker cleanup with the test.
@@ -280,4 +283,366 @@ func TestParallelInvariantsCatchCorruption(t *testing.T) {
 	if err := par.CheckConservation(); err == nil {
 		t.Fatal("conservation check missed an unreplayed deferred effect")
 	}
+
+	par = build()
+	par.shards[0].outbox[1] = append(par.shards[0].outbox[1], pushRecord{})
+	if err := par.CheckConservation(); err == nil {
+		t.Fatal("conservation check missed an undelivered mailbox record")
+	}
+
+	par = build()
+	par.shards[1].defers = append(par.shards[1].defers, bport{})
+	if err := par.CheckConservation(); err == nil {
+		t.Fatal("conservation check missed an unreplayed deferred boundary port")
+	}
+
+	par = build()
+	if len(par.shards[0].bports) == 0 {
+		t.Fatal("expected cross-shard boundary ports on shard 0")
+	}
+	par.shards[0].bports[0].op.downFull ^= 1
+	if err := par.CheckConservation(); err == nil {
+		t.Fatal("conservation check missed a stale boundary snapshot")
+	}
+}
+
+// The synchronization budget is the tentpole's gated claim: an open-loop
+// multi-shard cycle costs exactly ONE barrier, an OnEject cycle exactly
+// two (the ejection split), and the single-shard decomposition none.
+// SerialReplayVisits must stay zero while no boundary port ever sees a
+// full downstream snapshot.
+func TestParallelBarrierCounters(t *testing.T) {
+	s := topology.MustSpidergon(16)
+	par := newParallelNet(t, s, routing.NewSpidergonRouting(s), DefaultConfig(), 4)
+	rng := sim.NewRNG(3)
+	const open = 500
+	for c := 0; c < open; c++ {
+		if rng.Bernoulli(0.3) {
+			src, dst := rng.Intn(16), rng.Intn(16)
+			if src != dst {
+				_ = par.Inject(src, dst)
+			}
+		}
+		par.Step()
+	}
+	if got := par.Perf().Barriers; got != open {
+		t.Fatalf("open-loop barriers = %d over %d cycles, want exactly 1/cycle", got, open)
+	}
+	par.OnEject(func(*Packet) {})
+	const closed = 200
+	for c := 0; c < closed; c++ {
+		par.Step()
+	}
+	if got := par.Perf().Barriers; got != open+2*closed {
+		t.Fatalf("barriers = %d after %d OnEject cycles, want %d (2/cycle under the ejection split)",
+			got, closed, open+2*closed)
+	}
+
+	single := newParallelNet(t, s, routing.NewSpidergonRouting(s), DefaultConfig(), 1)
+	_ = single.Inject(0, 9)
+	for c := 0; c < 50; c++ {
+		single.Step()
+	}
+	if got := single.Perf().Barriers; got != 0 {
+		t.Fatalf("single-shard decomposition crossed %d barriers, want 0", got)
+	}
+}
+
+// spinBudget must collapse to zero (straight to Gosched) on a single P,
+// grant the full budget when every worker can own a P, and scale down
+// with oversubscription.
+func TestSpinBudget(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	runtime.GOMAXPROCS(1)
+	if got := spinBudget(4); got != 0 {
+		t.Fatalf("spinBudget(4) at GOMAXPROCS=1 = %d, want 0", got)
+	}
+	runtime.GOMAXPROCS(8)
+	if got := spinBudget(4); got != 4096 {
+		t.Fatalf("spinBudget(4) at GOMAXPROCS=8 = %d, want the full 4096", got)
+	}
+	if got := spinBudget(8); got != 4096 {
+		t.Fatalf("spinBudget(8) at GOMAXPROCS=8 = %d, want 4096", got)
+	}
+	if got := spinBudget(16); got != 2048 {
+		t.Fatalf("spinBudget(16) at GOMAXPROCS=8 = %d, want 2048", got)
+	}
+}
+
+// With a single P, a worker that exhausts its (zero) spin budget must
+// yield and park rather than busy-wait — otherwise the coordinator
+// never runs and the cycle deadlocks. Driving a 4-shard network to
+// completion under GOMAXPROCS=1, bit-identical to the reference, is the
+// progress proof; the go test timeout is the failure detector.
+func TestParallelProgressAtGOMAXPROCS1(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	s := topology.MustSpidergon(16)
+	ref, err := NewNetwork(s, routing.NewSpidergonRouting(s), DefaultConfig(), stats.NewCollector(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := newParallelNet(t, s, routing.NewSpidergonRouting(s), DefaultConfig(), 4)
+	rng := sim.NewRNG(21)
+	for cycle := 0; cycle < 600; cycle++ {
+		if rng.Bernoulli(0.3) {
+			src, dst := rng.Intn(16), rng.Intn(16)
+			if src != dst {
+				_ = ref.Inject(src, dst)
+				_ = par.Inject(src, dst)
+			}
+		}
+		ref.Step()
+		par.Step()
+	}
+	if fa, fb := stateFingerprint(ref), stateFingerprint(par); fa != fb {
+		t.Fatalf("engines diverged under GOMAXPROCS=1:\nactive:   %s\nparallel: %s", fa, fb)
+	}
+	if par.pr == nil {
+		t.Fatal("multi-shard stepping never started the worker group")
+	}
+	if par.pr.spin != 0 {
+		t.Fatalf("worker spin budget = %d under GOMAXPROCS=1, want 0", par.pr.spin)
+	}
+	if err := par.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Shard-count edges: a request beyond the router count clamps to one
+// router per shard, and non-positive requests select the automatic
+// width (min(GOMAXPROCS, routers/4)) — all mid-run, all bit-identical.
+func TestSetShardsClampAndAuto(t *testing.T) {
+	s := topology.MustSpidergon(16)
+	ref, err := NewNetwork(s, routing.NewSpidergonRouting(s), DefaultConfig(), stats.NewCollector(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := newParallelNet(t, s, routing.NewSpidergonRouting(s), DefaultConfig(), 4)
+	rng := sim.NewRNG(17)
+	drive := func(cycles int) {
+		for c := 0; c < cycles; c++ {
+			if rng.Bernoulli(0.3) {
+				src, dst := rng.Intn(16), rng.Intn(16)
+				if src != dst {
+					_ = ref.Inject(src, dst)
+					_ = par.Inject(src, dst)
+				}
+			}
+			ref.Step()
+			par.Step()
+		}
+		if fa, fb := stateFingerprint(ref), stateFingerprint(par); fa != fb {
+			t.Fatalf("engines diverged at %d shards:\nactive:   %s\nparallel: %s", par.Shards(), fa, fb)
+		}
+		if err := par.CheckConservation(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drive(300)
+	par.SetShards(64) // > routers: clamp to one router per shard
+	if got := par.Shards(); got != 16 {
+		t.Fatalf("SetShards(64) on 16 routers = %d shards, want 16", got)
+	}
+	drive(300)
+	par.SetShards(0) // automatic width
+	want := runtime.GOMAXPROCS(0)
+	if q := 16 / 4; want > q {
+		want = q
+	}
+	if want < 1 {
+		want = 1
+	}
+	if got := par.Shards(); got != want {
+		t.Fatalf("SetShards(0) = %d shards, want auto width %d", got, want)
+	}
+	drive(300)
+	par.SetShards(-3) // any non-positive request means auto
+	if got := par.Shards(); got != want {
+		t.Fatalf("SetShards(-3) = %d shards, want auto width %d", got, want)
+	}
+	drive(300)
+}
+
+// waitGoroutines polls until the goroutine count falls back to the
+// baseline: StopWorkers joins the group, but the counter includes exit
+// epilogues, so a short grace window keeps the check robust.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d goroutines still running, baseline %d — parked workers leaked",
+				runtime.NumGoroutine(), baseline)
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// StopWorkers must JOIN the worker group: directly, via mid-run Reset,
+// and across restart cycles, no parked worker may outlive its network.
+func TestStopWorkersLeavesNoGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	s := topology.MustSpidergon(16)
+	par := newParallelNet(t, s, routing.NewSpidergonRouting(s), DefaultConfig(), 4)
+	rng := sim.NewRNG(8)
+	drive := func(cycles int) {
+		for c := 0; c < cycles; c++ {
+			if rng.Bernoulli(0.4) {
+				src, dst := rng.Intn(16), rng.Intn(16)
+				if src != dst {
+					_ = par.Inject(src, dst)
+				}
+			}
+			par.Step()
+		}
+	}
+	drive(100)
+	if par.pr == nil {
+		t.Fatal("worker group never started")
+	}
+	par.StopWorkers()
+	if par.pr != nil {
+		t.Fatal("StopWorkers left the group registered")
+	}
+	waitGoroutines(t, baseline)
+
+	drive(100) // stepping restarts the group transparently
+	if par.pr == nil {
+		t.Fatal("worker group did not restart after StopWorkers")
+	}
+	par.Reset() // mid-run reset parks and joins via resetShards
+	waitGoroutines(t, baseline)
+	par.SetEngine(EngineParallel) // Reset keeps the engine; rebuild worklists
+	drive(100)
+	par.StopWorkers()
+	waitGoroutines(t, baseline)
+}
+
+// A burst of cross-shard deliveries must grow the per-pair mailboxes
+// past their deliberately small initial capacity exactly once — after
+// the high-water mark is established, the fused cycle (mailbox appends,
+// deferred replays, injections from the pool) runs allocation-free.
+func TestMailboxBurstGrowthAndSteadyState(t *testing.T) {
+	m := topology.MustMesh(8, 8)
+	cfg := DefaultConfig()
+	// Roomy downstream input buffers keep the cycle-start snapshots
+	// clear, so cross-cut traffic lands in the mailboxes (speculative
+	// delivery) instead of the deferred-replay path.
+	cfg.InBufCap = 4
+	net, err := NewNetwork(m, routing.NewMeshXY(m), cfg, stats.NewCollector(1<<40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetPooling(true)
+	net.SetShards(2) // cut between rows 3 and 4: 8 links per direction
+	net.SetEngine(EngineParallel)
+	t.Cleanup(net.StopWorkers)
+	cycle := 0
+	tick := func() {
+		// One top-half→bottom-half packet per cycle: every flit must
+		// cross the 8-link cut, keeping it busy but sustainable.
+		src := (cycle*5 + 3) % 32
+		dst := 32 + (cycle*11+7)%32
+		if err := net.Inject(src, dst); err != nil {
+			t.Fatal(err)
+		}
+		net.Step()
+		cycle++
+	}
+	for cycle < 2000 {
+		tick()
+	}
+	grown := 0
+	for i := range net.shards {
+		for _, box := range net.shards[i].outbox {
+			if cap(box) > initialMailboxCap {
+				grown++
+			}
+		}
+	}
+	if grown == 0 {
+		t.Fatalf("no mailbox grew past its initial capacity %d — burst not exercised", initialMailboxCap)
+	}
+	if allocs := testing.AllocsPerRun(300, tick); allocs != 0 {
+		t.Fatalf("steady-state fused parallel cycle allocates %v per cycle", allocs)
+	}
+	if err := net.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzCrossShardMailbox drives random fabrics, switching modes, loads
+// and shard counts (including counts past the router count) through the
+// fused engine, holding it to fingerprint equality with EngineActive
+// and to the conservation + mailbox invariants.
+func FuzzCrossShardMailbox(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint8(2), uint8(40))
+	f.Add(uint64(7), uint8(1), uint8(3), uint8(80))
+	f.Add(uint64(42), uint8(2), uint8(13), uint8(120))
+	f.Add(uint64(9), uint8(1), uint8(7), uint8(200))
+	f.Add(uint64(64), uint8(0), uint8(30), uint8(255))
+	f.Fuzz(func(t *testing.T, seed uint64, topoSel, shardSel, rateByte uint8) {
+		rng := sim.NewRNG(seed)
+		var topo topology.Topology
+		var alg routing.Algorithm
+		switch topoSel % 3 {
+		case 0:
+			r := topology.MustRing(8 + 2*rng.Intn(5))
+			topo, alg = r, routing.NewRingRouting(r)
+		case 1:
+			s := topology.MustSpidergon(8 + 4*rng.Intn(3))
+			topo, alg = s, routing.NewSpidergonRouting(s)
+		default:
+			m := topology.MustMesh(4, 4)
+			topo, alg = m, routing.NewMeshXY(m)
+		}
+		cfg := DefaultConfig()
+		cfg.PacketLen = 2 + rng.Intn(5)
+		cfg.OutBufCap = 1 + rng.Intn(4)
+		cfg.InBufCap = 1 + rng.Intn(3)
+		if seed%2 == 0 {
+			cfg.Switching = VirtualCutThrough
+			if cfg.OutBufCap < cfg.PacketLen {
+				cfg.OutBufCap = cfg.PacketLen
+			}
+		}
+		shards := 1 + int(shardSel)%20 // may exceed the router count: clamps
+		ref, err := NewNetwork(topo, alg, cfg, stats.NewCollector(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		par := newParallelNet(t, topo, alg, cfg, shards)
+		nodes := topo.Nodes()
+		rate := 0.05 + 0.5*float64(rateByte)/255
+		for cycle := 0; cycle < 600; cycle++ {
+			if rng.Bernoulli(rate) {
+				src, dst := rng.Intn(nodes), rng.Intn(nodes)
+				if src != dst {
+					_ = ref.Inject(src, dst)
+					_ = par.Inject(src, dst)
+				}
+			}
+			ref.Step()
+			par.Step()
+			if cycle%50 == 0 {
+				if fa, fb := stateFingerprint(ref), stateFingerprint(par); fa != fb {
+					t.Fatalf("engines diverged at cycle %d (%d shards):\nactive:   %s\nparallel: %s",
+						cycle, par.Shards(), fa, fb)
+				}
+			}
+		}
+		if fa, fb := stateFingerprint(ref), stateFingerprint(par); fa != fb {
+			t.Fatalf("engines diverged (%d shards):\nactive:   %s\nparallel: %s", par.Shards(), fa, fb)
+		}
+		if err := ref.CheckConservation(); err != nil {
+			t.Fatal(err)
+		}
+		if err := par.CheckConservation(); err != nil {
+			t.Fatal(err)
+		}
+	})
 }

@@ -99,6 +99,14 @@ type outPort struct {
 	// engine a per-traversal lookup.
 	peer       *inPort
 	peerRouter *router
+
+	// downFull is the parallel engine's cycle-start snapshot of the
+	// downstream input port's per-VC fullness, maintained only on
+	// cross-shard ports (refreshBoundarySnapshots). Bit vc set means
+	// bufs[vc] held >= InBufCap flits at the last barrier; clear proves
+	// the slot still has room mid-cycle (this port is the slot's only
+	// producer), licensing speculative delivery.
+	downFull uint64
 }
 
 // routeEntry is the switching state the head flit configures: flits of
