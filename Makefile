@@ -92,16 +92,18 @@ golden-gogcoff:
 
 # race-parallel runs the parallel-engine golden/fuzz suites under the
 # race detector with their bounded cycle counts — the determinism AND
-# memory-model proof of the domain-decomposed Step.
+# memory-model proof of the domain-decomposed Step. The Credit pattern
+# picks up the credit-snapshot fuzz seeds and the zero-credit storm
+# alongside the Parallel-named goldens.
 race-parallel:
-	$(GO) test -race -run 'Parallel' ./internal/noc/ ./internal/core/
+	$(GO) test -race -run 'Parallel|Credit' ./internal/noc/ ./internal/core/
 
 # race-parallel-4 re-runs the same matrix with GOMAXPROCS pinned to 4:
 # on a multi-core host the fused engine's workers genuinely race the
 # coordinator (spinning on the barrier instead of parking), which a
 # single-P run cannot exercise.
 race-parallel-4:
-	GOMAXPROCS=4 $(GO) test -race -run 'Parallel' ./internal/noc/ ./internal/core/
+	GOMAXPROCS=4 $(GO) test -race -run 'Parallel|Credit' ./internal/noc/ ./internal/core/
 
 # telemetry-check proves the FTDC-style capture end to end on every
 # push: a bounded knee run (the PerfGate knee workload: mesh-8x8

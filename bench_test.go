@@ -386,14 +386,21 @@ func BenchmarkPerfGate(b *testing.B) {
 				// The fused engine's synchronization budget, normalized
 				// by ticked (non-fast-forwarded) cycles: exactly one
 				// barrier per multi-shard cycle without an OnEject
-				// callback, and the count of boundary ports whose link
-				// decision fell back to the cycle-end serial replay
-				// (full downstream snapshot). Both are deterministic
-				// work counters, so the gate pins them where wall-clock
-				// speedup would be host noise.
+				// callback, and a replay-visits count gated at zero —
+				// the credit discipline resolves every boundary link
+				// decision inside the pass (speculatively on a cycle-
+				// start credit, or via a point-to-point pops-done wait
+				// on credit exhaustion), so any nonzero replay count is
+				// a reintroduced serial section. The credit split
+				// itself (speculative deliveries vs zero-credit defers
+				// per cycle) is reported and gated too: all are
+				// deterministic work counters, so the gate pins them
+				// where wall-clock speedup would be host noise.
 				ticked := cycles - float64(perf.SkippedCycles)
 				b.ReportMetric(float64(perf.Barriers)/ticked, "barriers/cycle")
 				b.ReportMetric(float64(perf.SerialReplayVisits)/ticked, "replay-visits/cycle")
+				b.ReportMetric(float64(perf.SpeculativeDeliveries)/ticked, "spec-deliveries/cycle")
+				b.ReportMetric(float64(perf.CreditDefers)/ticked, "credit-defers/cycle")
 			}
 
 			// Steady-state allocation metrics: one further run on the

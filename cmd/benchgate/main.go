@@ -15,10 +15,15 @@
 // A second mode maintains the tracked speedup history: -speedup-log
 // reads the knee-parallel bench's report-only wall metrics (gomaxprocs,
 // numcpu, shards, raw serial/parallel wall times, speedup) from the
-// same stream and appends one labeled record to a JSON array file
-// (BENCH_speedup.json), so runs on real multi-core hosts accumulate a
-// per-commit speedup trajectory next to the deterministic gate. No
-// baseline is consulted in this mode.
+// same stream and records one labeled entry in a JSON array file
+// (BENCH_speedup.json) — re-running with an existing label replaces
+// that record instead of appending — so runs on real multi-core hosts
+// accumulate a per-commit speedup trajectory next to the deterministic
+// gate. No baseline is consulted in this mode. Adding -speedup-min
+// turns the logged run into a wall-clock gate: the freshly measured
+// knee speedup must reach the floor, enforced only for labels matching
+// -label-prefix (CI passes `-speedup-min 1.05 -label-prefix ci-`) and
+// skipped with a notice when the host has fewer cores than shards.
 //
 // Usage:
 //
@@ -26,6 +31,7 @@
 //	benchgate -baseline bench-baseline.json -input bench-gate.json
 //	benchgate -baseline bench-baseline.json -input bench-gate.json -update
 //	go test -json -bench='PerfGate/knee-parallel' -benchtime=1x -run='^$' . | benchgate -speedup-log BENCH_speedup.json -label pr8
+//	benchgate -speedup-log BENCH_speedup.json -input bench-speedup.json -label ci-abc12345 -speedup-min 1.05 -label-prefix ci-
 package main
 
 import (
@@ -144,6 +150,8 @@ func main() {
 		update       = flag.Bool("update", false, "rewrite the baseline's values from the observed run")
 		speedupLog   = flag.String("speedup-log", "", "append the knee-parallel speedup record to this JSON history instead of gating")
 		label        = flag.String("label", "local", "record label for -speedup-log (e.g. the PR or commit)")
+		speedupMin   = flag.Float64("speedup-min", 0, "with -speedup-log: fail unless the freshly measured knee speedup reaches this minimum (skipped when the host has fewer cores than shards)")
+		labelPrefix  = flag.String("label-prefix", "", "with -speedup-min: enforce the minimum only when the record label starts with this prefix (empty = always)")
 	)
 	flag.Parse()
 
@@ -157,9 +165,11 @@ func main() {
 			defer f.Close()
 			in = f
 		}
-		if err := appendSpeedup(*speedupLog, *label, in); err != nil {
+		rec, err := appendSpeedup(*speedupLog, *label, in)
+		if err != nil {
 			fatal(err)
 		}
+		checkSpeedupMin(rec, *speedupMin, *labelPrefix)
 		return
 	}
 
@@ -299,12 +309,15 @@ type speedupRecord struct {
 }
 
 // appendSpeedup extracts the knee-parallel wall metrics from a bench
-// stream and appends one labeled record to the JSON-array history at
-// path (created when missing).
-func appendSpeedup(path, label string, in io.Reader) error {
+// stream and records them under the given label in the JSON-array
+// history at path (created when missing). A re-run with an existing
+// label replaces that record in place rather than appending, so
+// repeated local runs and per-commit CI re-runs keep the history one
+// record per label instead of accreting duplicates.
+func appendSpeedup(path, label string, in io.Reader) (speedupRecord, error) {
 	got, err := collect(in)
 	if err != nil {
-		return err
+		return speedupRecord{}, err
 	}
 	const bench = "PerfGate/knee-parallel"
 	metric := func(unit string) (float64, error) {
@@ -325,7 +338,7 @@ func appendSpeedup(path, label string, in io.Reader) error {
 	}
 	for _, f := range fields {
 		if *f.dst, err = metric(f.unit); err != nil {
-			return err
+			return speedupRecord{}, err
 		}
 	}
 	ints := []struct {
@@ -339,31 +352,70 @@ func appendSpeedup(path, label string, in io.Reader) error {
 	for _, f := range ints {
 		v, err := metric(f.unit)
 		if err != nil {
-			return err
+			return speedupRecord{}, err
 		}
 		*f.dst = int(v)
 	}
 
 	var history []speedupRecord
 	if raw, err := os.ReadFile(path); err == nil {
-		if err := json.Unmarshal(raw, &history); err != nil {
-			return fmt.Errorf("parsing %s: %w", path, err)
+		if len(raw) > 0 {
+			if err := json.Unmarshal(raw, &history); err != nil {
+				return speedupRecord{}, fmt.Errorf("parsing %s: %w", path, err)
+			}
 		}
 	} else if !os.IsNotExist(err) {
-		return err
+		return speedupRecord{}, err
 	}
-	history = append(history, rec)
+	verb := "+="
+	replaced := false
+	for i := range history {
+		if history[i].Label == label {
+			history[i] = rec
+			verb, replaced = "~=", true
+			break
+		}
+	}
+	if !replaced {
+		history = append(history, rec)
+	}
 	out, err := json.MarshalIndent(history, "", "  ")
 	if err != nil {
-		return err
+		return speedupRecord{}, err
 	}
 	out = append(out, '\n')
 	if err := os.WriteFile(path, out, 0o644); err != nil {
-		return err
+		return speedupRecord{}, err
 	}
-	fmt.Printf("benchgate: %s += {label %s, %d shards, gomaxprocs %d, speedup %.3gx} (%d records)\n",
-		path, rec.Label, rec.Shards, rec.GOMAXPROCS, rec.Speedup, len(history))
-	return nil
+	fmt.Printf("benchgate: %s %s {label %s, %d shards, gomaxprocs %d, speedup %.3gx} (%d records)\n",
+		path, verb, rec.Label, rec.Shards, rec.GOMAXPROCS, rec.Speedup, len(history))
+	return rec, nil
+}
+
+// checkSpeedupMin enforces the CI wall-clock floor on a freshly
+// measured speedup record: when min is positive and the record's label
+// carries the enforcement prefix, the measured knee speedup must reach
+// it. Hosts with fewer cores than shards skip the check (the parallel
+// engine cannot beat serial without the cores, and the deterministic
+// counters in the main gate already cover correctness there) — CI
+// pins GOMAXPROCS=4 on a 4-core runner, so the check bites exactly
+// where the number is meaningful.
+func checkSpeedupMin(rec speedupRecord, min float64, prefix string) {
+	if min <= 0 || !strings.HasPrefix(rec.Label, prefix) {
+		return
+	}
+	if rec.NumCPU < rec.Shards {
+		fmt.Printf("benchgate: speedup gate skipped: %d CPUs < %d shards — wall-clock speedup is not meaningful on this host\n",
+			rec.NumCPU, rec.Shards)
+		return
+	}
+	if rec.Speedup < min {
+		fmt.Fprintf(os.Stderr,
+			"benchgate: knee speedup %.3gx below the %.3gx floor (label %s, %d shards, gomaxprocs %d, numcpu %d)\n",
+			rec.Speedup, min, rec.Label, rec.Shards, rec.GOMAXPROCS, rec.NumCPU)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: knee speedup %.3gx meets the %.3gx floor\n", rec.Speedup, min)
 }
 
 func fatal(err error) {

@@ -41,7 +41,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		jsonOut = flag.Bool("json", false, "emit the result as JSON")
 		scnFile = flag.String("config", "", "JSON scenario file (overrides other flags)")
-		stepPar = flag.Int("step-parallel", 0, "router shards for the domain-decomposed Step engine (0 = serial, -1 = auto: min(GOMAXPROCS, routers/4); results are identical)")
+		stepPar = flag.Int("step-parallel", 0, "router shards for the domain-decomposed Step engine with credit-based cross-shard speculation (0 = serial, -1 = auto: min(GOMAXPROCS, routers/4); results are identical)")
 		telFile = flag.String("telemetry", "", "write a per-cycle telemetry capture to this file (decode with noctsd)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")

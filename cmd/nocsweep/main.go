@@ -43,7 +43,7 @@ func main() {
 		rates    = flag.String("rates", "0.05,0.1,0.15,0.2,0.3,0.4,0.5", "per-source flits/cycle points")
 		reps     = flag.Int("reps", 1, "replications per point (independent seeds)")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		stepPar  = flag.Int("step-parallel", 0, "router shards per simulation (intra-scenario parallelism; >1 divides the -parallel budget, -1 = auto width per scenario)")
+		stepPar  = flag.Int("step-parallel", 0, "router shards per simulation (credit-based intra-scenario parallelism; >1 divides the -parallel budget, -1 = auto width per scenario)")
 		out      = flag.String("out", "", "write per-run and summary records as JSONL to this file")
 		sqlOut   = flag.String("sqlite", "", "archive per-run and summary records as a SQLite database at this path")
 		csv      = flag.Bool("csv", false, "CSV output")

@@ -173,7 +173,12 @@ func (n *Network) inPop(wl *worklists, node int, r *router, p *inPort, vc int) f
 	return h
 }
 
-// inPush appends h to p's vc slot of the downstream router.
+// inPush appends h to p's vc slot of the downstream router. Under
+// EngineParallel it is called concurrently by the shard passes — for
+// same-shard link deliveries and for the end-of-pass inbox drains —
+// but always with node owned by the calling shard and wl that shard's
+// own worklists, so every write (buffer, masks, telemetry counters,
+// worklist bitmaps) has a single writer per cycle.
 func (n *Network) inPush(wl *worklists, node int, r *router, p *inPort, vc int, h flitH) {
 	wasEmpty := p.bufs[vc].len() == 0
 	p.push(vc, h)

@@ -21,15 +21,21 @@
 // rather than network size, and a fully quiescent network can
 // fast-forward across idle cycles via SkipTo. EngineParallel
 // (parallel.go) runs ejection, switch+inject and link as ONE fused
-// shard-local pass over contiguous router shards, deferring every
-// cross-shard effect (link deliveries via per-shard-pair mailboxes
-// with cycle-start downstream-fullness snapshots, ejection and
-// statistic completions) to a single sense-reversing barrier per
-// cycle, where a serial section replays them in canonical router
-// order — two barriers only when an OnEject callback forces the
-// ejection span to split off. EngineSweep is the original
-// scan-everything reference; the cross-engine tests prove all three
-// produce bit-identical results for every scenario class.
+// shard-local pass over contiguous router shards with a single
+// sense-reversing barrier per cycle (two only when an OnEject
+// callback forces the ejection span to split off). Cross-shard link
+// decisions resolve inside the pass through per-(port,VC) credit
+// counters snapshotted at each barrier: a positive credit proves
+// downstream room and the flit travels speculatively through a
+// per-shard-pair mailbox; a spent credit waits point-to-point for the
+// downstream shard's pops-done mark and re-reads exact occupancy.
+// Each shard drains its inbound mailboxes at the end of its own pass
+// in canonical sender order, so cycle-boundary state is bit-identical
+// to the serial engines and the barrier's serial section only merges
+// counters and refreshes credits — it never replays a link decision
+// or moves a flit. EngineSweep is the original scan-everything
+// reference; the cross-engine tests prove all three produce
+// bit-identical results for every scenario class.
 //
 // # Arena and handle layout
 //

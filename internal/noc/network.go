@@ -56,7 +56,9 @@ type Network struct {
 	visits   uint64    // per-phase router/source worklist visits
 	skipped  uint64    // cycles fast-forwarded by SkipTo
 	barriers uint64    // parallel-engine worker barriers crossed
-	sreplays uint64    // boundary ports replayed in the serial section
+	sreplays uint64    // boundary ports replayed in the serial section (retired: always 0 since credits)
+	specs    uint64    // cross-shard flits delivered speculatively on credit
+	cdefers  uint64    // zero-credit link decisions synchronized in-pass
 
 	// Domain decomposition state of EngineParallel (parallel.go):
 	// shards own contiguous router ranges (shardOf is the inverse
@@ -936,6 +938,7 @@ func (n *Network) Reset() {
 	n.lastActivity, n.moved = 0, false
 	n.visits, n.skipped = 0, 0
 	n.barriers, n.sreplays = 0, 0
+	n.specs, n.cdefers = 0, 0
 	n.onEject = nil
 	n.wl.clear()
 	n.resetShards()

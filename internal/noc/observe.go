@@ -106,21 +106,36 @@ type PerfStats struct {
 	// Deterministic, so the perf gate pins the synchronization budget.
 	Barriers uint64
 	// SerialReplayVisits counts cross-shard boundary ports whose link
-	// decision could not be taken speculatively (downstream snapshot
-	// full) and was replayed in the cycle-end serial section — the
-	// deterministic measure of the remaining serial fraction.
+	// decision was replayed in the cycle-end serial section. Retired by
+	// the credit discipline — every boundary decision now resolves
+	// inside the pass, so this stays 0 — but kept (and gated at 0 in
+	// bench-baseline.json) as a strict regression guard: any future
+	// change that reintroduces serial replay fails the perf gate.
 	SerialReplayVisits uint64
+	// SpeculativeDeliveries counts cross-shard flits delivered on an
+	// unexpired cycle-start credit — the fraction of boundary traffic
+	// that required no synchronization at all. Deterministic: whether a
+	// port holds a credit depends only on the previous barrier's buffer
+	// occupancy, never on timing.
+	SpeculativeDeliveries uint64
+	// CreditDefers counts zero-credit boundary link decisions: the port
+	// waited for the downstream shard's pops-done mark and re-read
+	// exact occupancy inside the pass. The deterministic measure of
+	// residual cross-shard coupling (successor of SerialReplayVisits).
+	CreditDefers uint64
 }
 
 // Perf returns the engine work counters accumulated so far.
 func (n *Network) Perf() PerfStats {
 	return PerfStats{
-		Engine:             n.engine.String(),
-		RouterVisits:       n.visits,
-		SkippedCycles:      n.skipped,
-		LiveStateBytes:     n.LiveStateBytes(),
-		Barriers:           n.barriers,
-		SerialReplayVisits: n.sreplays,
+		Engine:                n.engine.String(),
+		RouterVisits:          n.visits,
+		SkippedCycles:         n.skipped,
+		LiveStateBytes:        n.LiveStateBytes(),
+		Barriers:              n.barriers,
+		SerialReplayVisits:    n.sreplays,
+		SpeculativeDeliveries: n.specs,
+		CreditDefers:          n.cdefers,
 	}
 }
 

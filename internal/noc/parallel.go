@@ -1,10 +1,14 @@
 package noc
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
+
+	"gonoc/internal/prof"
 )
 
 // This file is the domain-decomposed parallel engine behind
@@ -18,7 +22,7 @@ import (
 // The fusion rests on the conservative-PDES lookahead of the model: a
 // cross-shard effect (a link traversal into another shard's input
 // buffer) is not acted on by the receiving router until the NEXT
-// cycle's phases, so it can be deferred to a cycle-end mailbox without
+// cycle's phases, so it can be delivered through a mailbox without
 // changing any decision taken this cycle. Within a shard the fused pass
 // keeps the serial phase order (all ejections, then all switch+inject,
 // then all links over the shard's routers), so every shard-local read a
@@ -26,26 +30,38 @@ import (
 // Between shards, three couplings remain and each is resolved without a
 // mid-cycle barrier:
 //
-//   - Cross-shard link DELIVERY: the receiving slot is written into a
-//     per-shard-pair mailbox (outbox, one writer and one reader per
-//     pair, preallocated) and applied in canonical router order by the
-//     serial section at the barrier.
 //   - Cross-shard link DECISION: the only foreign state the link phase
-//     reads is the downstream input slot's fullness. Each input slot has
-//     exactly ONE upstream writer (its channel), so during a cycle its
-//     occupancy can only shrink (the owner pops, nobody else pushes)
-//     until this very port pushes. The engine therefore keeps a
-//     per-boundary-port snapshot of the downstream per-VC fullness taken
-//     at the previous barrier (outPort.downFull): snapshot says
-//     not-full ⇒ still not-full at the serial decision point, deliver
-//     speculatively; snapshot says full ⇒ the owner's pops this cycle
-//     may or may not have made room, so the WHOLE port's round-robin
-//     scan is deferred to the barrier, where it re-runs against exact
-//     post-pop state (replayBoundaryPort — counted by the
-//     serial-replay-visits perf counter). Both outcomes reproduce the
-//     serial decision exactly; with one-flit input buffers (the paper's
-//     default) the full-at-start case is common under load, which is
-//     why the replay-visit count is a gated perf metric.
+//     reads is the downstream input slot's occupancy. Each input slot
+//     has exactly ONE upstream writer (its channel), so during a cycle
+//     its occupancy can only shrink (the owner pops, nobody else
+//     pushes) until this very port pushes. The engine therefore keeps
+//     per-(port,VC) CREDIT counters on every boundary port
+//     (outPort.credits), snapshotted from the downstream buffers at
+//     each barrier (refreshBoundaryCredits): a positive credit proves
+//     the slot still has room at the serial decision point, so the
+//     flit departs speculatively on the spot; a zero credit means only
+//     the owner's pops this cycle can have made room, so the port
+//     synchronizes point-to-point — it waits (parRun.awaitPops) until
+//     the downstream shard publishes that all its pops of the pass are
+//     done (popsDone, stored between its switch+inject and link
+//     phases) and then re-reads exact occupancy, which is precisely
+//     the check the serial link sweep performs. Both outcomes
+//     reproduce the serial decision bit-exactly, and neither involves
+//     the serial section: the cycle-end replay of deferred boundary
+//     ports that predated credits is gone (SerialReplayVisits is
+//     retired at 0 and gated there). The two outcomes are counted by
+//     the SpeculativeDeliveries and CreditDefers perf counters.
+//   - Cross-shard link DELIVERY: the departing flit is appended to a
+//     per-shard-pair mailbox (outbox, one writer and one reader per
+//     pair, preallocated). The RECEIVING shard drains its inboxes
+//     itself at the end of its own pass — after every sender published
+//     linkDone, so each mailbox is complete and has exactly one
+//     concurrent reader — in canonical ascending sender-shard order.
+//     Draining within the same cycle (rather than at the top of the
+//     next) keeps the cycle-boundary state bit-identical for every
+//     observer (fingerprints, telemetry, conservation, Drain) and
+//     keeps Reset trivial: no flit is ever parked in a mailbox across
+//     a barrier. The serial section never touches mailboxes.
 //   - Ejection completions: statistics and the arena recycle are
 //     deferred per shard and replayed in canonical order at the barrier.
 //     Without an OnEject callback this is unobservable mid-cycle (no
@@ -58,15 +74,25 @@ import (
 //     switch+inject+link span and the cycle-end barrier. The barriers
 //     perf counter records which shape ran.
 //
+// The cycle-end serial section is thereby reduced to the ejection
+// completions, the deferred injection statistics, the scratch-counter
+// merge and the credit refresh — the Amdahl serial fraction the
+// CreditDefers counter tracks the residue of.
+//
 // Determinism follows the same discipline as before: shard assignment
 // is a pure function of router index and shard count (contiguous ranges
 // [s·N/K, (s+1)·N/K)), each shard drains its own bitmap worklists in
 // ascending node order with cycle-derived round-robin pointers, and
 // every deferred buffer is appended in ascending node order and
-// replayed in shard order — exactly the serial engines' iteration
-// order. The boundary-port list of each shard (bports) is precomputed
-// at SetShards time in that same canonical order; the serial section
-// only walks records that exist instead of re-deriving the geometry.
+// replayed (or drained) in ascending shard order — exactly the serial
+// engines' iteration order. The credit decision is a pure function of
+// simulation state (never of timing): whether a port holds a credit
+// depends only on the previous barrier's buffer occupancy, and the
+// zero-credit wait always resolves to the same exact occupancy read,
+// so SpeculativeDeliveries and CreditDefers are deterministic counters
+// fit for the perf gate. The boundary-port list of each shard (bports)
+// and its inbound-sender list (senders) are precomputed at SetShards
+// time in canonical order.
 //
 // The packet arena needs no sharding: every lease and recycle happens
 // in the serial sections at the barriers (generator events run between
@@ -75,8 +101,9 @@ import (
 // per-record fields shards write concurrently — recv during ejection,
 // injected during injection, hops and lastMove during link traversal —
 // are distinct word-sized array elements owned by exactly one shard at
-// any time, and the barrier atomics order them, so the engine stays
-// race-clean.
+// any time, and the barrier atomics (plus the popsDone/linkDone
+// publishes, which order a shard's pops and mailbox appends before any
+// foreign read) order them, so the engine stays race-clean.
 //
 // Synchronization is a generation (sense-reversing) barrier: the
 // coordinator publishes the pass kind, re-arms a countdown and bumps an
@@ -84,20 +111,32 @@ import (
 // derived from GOMAXPROCS and the shard count (zero — straight to
 // Gosched — on a single P), yield for a while, then park on a buffered
 // wake channel with a publish-then-recheck handshake so no release can
-// be lost. An idle or reset network burns no CPU; StopWorkers joins the
-// goroutines, so no worker can outlive its network.
+// be lost. The intra-pass popsDone/linkDone waits spin with the same
+// budget but never park: every shard publishes both marks
+// unconditionally on every pass before it can itself wait, so the
+// waits are deadlock-free and bounded by the pass length. An idle or
+// reset network burns no CPU; StopWorkers joins the goroutines, so no
+// worker can outlive its network.
+//
+// When a CPU profile is armed (prof.CPUProfileActive at worker start),
+// the engine attaches pprof goroutine labels phase=fused-pass /
+// barrier-wait / serial-replay around the respective spans, so `go
+// tool pprof -tags` attributes samples to the parallel fraction, the
+// synchronization overhead and the residual serial section directly.
+// Unprofiled runs skip the labels entirely (nil-context check).
 
 // parShard is one domain of the decomposition: a contiguous router
 // range, its private phase worklists, per-cycle scratch counters, the
-// deferred-effect buffers replayed at the barrier, and the precomputed
-// boundary-port geometry.
+// deferred-effect buffers, and the precomputed boundary geometry.
 type parShard struct {
 	idx    int // shard index (== position in Network.shards)
 	lo, hi int // owned router range [lo, hi)
 	wl     worklists
 
-	visits uint64 // worklist visits this cycle, merged at cycle end
-	moved  bool   // any flit progress this cycle, merged at cycle end
+	visits  uint64 // worklist visits this cycle, merged at cycle end
+	specs   uint64 // speculative (credit-backed) cross-shard deliveries this cycle
+	cdefers uint64 // zero-credit synchronized link decisions this cycle
+	moved   bool   // any flit progress this cycle, merged at cycle end
 
 	// ej holds this cycle's fully ejected packets (arena indices) in
 	// pop order; the barrier replays them (statistics, OnEject, arena
@@ -108,21 +147,22 @@ type parShard struct {
 	stats []statRecord
 
 	// bports lists this shard's cross-shard output ports in canonical
-	// (ascending node, port) order — precomputed by buildShards, so the
-	// per-cycle serial section never re-derives the cut geometry.
+	// (ascending node, port) order — precomputed by buildShards, so
+	// neither the per-cycle code nor the invariant checker re-derives
+	// the cut geometry.
 	bports []bport
-	// outbox[t] is the mailbox of speculative link deliveries into
+	// senders lists, ascending, the shards that own at least one
+	// boundary port INTO this shard — the only mailboxes the
+	// end-of-pass drain must wait for and read.
+	senders []int32
+	// outbox[t] is the mailbox of cross-shard link deliveries into
 	// shard t this cycle: written only by this shard during its fused
-	// pass, read only by the serial section at the barrier. Preallocated
-	// small (initialMailboxCap) and grown on demand up to at most one
-	// record per boundary port; the backing arrays persist across cycles
-	// and runs, so the steady state appends without allocating.
+	// pass, drained only by shard t at the end of t's pass (after this
+	// shard published linkDone). Preallocated small (initialMailboxCap)
+	// and grown on demand up to at most one record per boundary port;
+	// the backing arrays persist across cycles and runs, so the steady
+	// state appends without allocating.
 	outbox [][]pushRecord
-	// defers lists the boundary ports whose link decision could not be
-	// taken speculatively this cycle (downstream snapshot full); the
-	// barrier replays each with exact occupancy, in append == canonical
-	// order.
-	defers []bport
 
 	// pad keeps neighbouring shards' hot scratch fields off one cache
 	// line (the structs live in one slice).
@@ -150,8 +190,9 @@ type statRecord struct {
 	flits    int
 }
 
-// pushRecord is one deferred cross-shard link traversal: flit handle h
-// arrives in input port p, virtual channel vc, of router node.
+// pushRecord is one cross-shard link traversal in flight between a
+// sender's link phase and the receiver's end-of-pass drain: flit handle
+// h arrives in input port p, virtual channel vc, of router node.
 type pushRecord struct {
 	node int
 	p    *inPort
@@ -168,7 +209,9 @@ const (
 
 // parRun is the worker group of a running parallel network: one
 // goroutine per shard beyond shard 0, released through a generation
-// barrier once (or, with an OnEject callback, twice) per cycle.
+// barrier once (or, with an OnEject callback, twice) per cycle, plus
+// the per-shard intra-pass progress marks the credit discipline
+// synchronizes on.
 type parRun struct {
 	gen     atomic.Uint64 // release generation; bumped to open a pass
 	pending atomic.Int64  // workers still inside the released pass
@@ -176,9 +219,39 @@ type parRun struct {
 	mode    int           // pass kind, published before the gen bump
 	spin    int           // busy-spin budget before yielding
 
+	// popsDone[s] carries the generation of the last pass in which
+	// shard s finished every input-buffer pop (ejection and switch);
+	// published between the switch+inject and link phases. A
+	// zero-credit boundary port waits for the destination shard's mark
+	// before re-reading exact occupancy.
+	popsDone []atomic.Uint64
+	// linkDone[s] carries the generation of the last pass in which
+	// shard s finished its link phase (and hence every mailbox append);
+	// receivers wait for their senders' marks before draining.
+	linkDone []atomic.Uint64
+
 	parked []atomic.Bool   // worker w blocked (or blocking) on wake[w]
 	wake   []chan struct{} // buffered(1) wake tokens, one per worker
 	wg     sync.WaitGroup  // joined by StopWorkers
+
+	// Phase-attribution label contexts, non-nil only when a CPU profile
+	// was armed when the worker group started (prof.CPUProfileActive);
+	// setLabel is a no-op otherwise, so unprofiled runs pay one nil
+	// check per transition.
+	labelPass   context.Context
+	labelWait   context.Context
+	labelSerial context.Context
+	labelNone   context.Context
+}
+
+// setLabel switches the calling goroutine's pprof labels to ctx when
+// phase attribution is armed. On the coordinator this temporarily
+// replaces the caller's own labels during Step; stepParallel restores
+// the empty set before returning.
+func (pr *parRun) setLabel(ctx context.Context) {
+	if ctx != nil {
+		pprof.SetGoroutineLabels(ctx)
+	}
 }
 
 // yieldBudget is how many runtime.Gosched rounds a worker inserts
@@ -188,14 +261,22 @@ type parRun struct {
 const yieldBudget = 64
 
 // spinBudget derives the busy-spin budget from the machine parallelism
-// and the worker-group width: with shards ≤ GOMAXPROCS every worker
-// owns a P and a pass ends within microseconds, so the full budget
-// applies; oversubscribed groups scale it down (a spinning worker is
-// stealing the P of the one that would end the wait); a single P spins
-// not at all and goes straight to Gosched.
+// and the worker-group width: with shards ≤ procs every worker owns a
+// P and a pass ends within microseconds, so the full budget applies;
+// oversubscribed groups scale it down (a spinning worker is stealing
+// the P of the one that would end the wait); a single P spins not at
+// all and goes straight to Gosched. Parallelism is the smaller of
+// GOMAXPROCS and the physical core count: GOMAXPROCS above NumCPU
+// creates runnable threads the OS must time-slice onto the same cores,
+// and a waiter that busy-spins there burns the publisher's quantum —
+// each intra-pass handoff then costs an OS reschedule instead of
+// nanoseconds, which under the race detector compounds into a crawl.
 func spinBudget(shards int) int {
 	const base = 4096
 	p := runtime.GOMAXPROCS(0)
+	if c := runtime.NumCPU(); c < p {
+		p = c
+	}
 	if p <= 1 {
 		return 0
 	}
@@ -254,11 +335,11 @@ func (n *Network) Shards() int { return n.shardCount }
 
 // buildShards (re)allocates the shard array for the configured count,
 // with ranges [s·N/K, (s+1)·N/K), the inverse lookup table, each
-// shard's canonical boundary-port list and the per-pair mailboxes. An
-// already-built decomposition of the same width is kept — its worklist
-// bitmaps, boundary lists and mailbox capacity stay warm across
-// workspace reuse (the caller re-derives the worklist contents either
-// way).
+// shard's canonical boundary-port and sender lists, the per-pair
+// mailboxes and the boundary ports' credit arrays. An already-built
+// decomposition of the same width is kept — its worklist bitmaps,
+// boundary lists and mailbox capacity stay warm across workspace reuse
+// (the caller re-derives the worklist contents either way).
 func (n *Network) buildShards() {
 	nodes := n.topo.Nodes()
 	k := n.shardCount
@@ -280,7 +361,9 @@ func (n *Network) buildShards() {
 		}
 	}
 	// Second pass (shardOf must be complete): precompute the canonical
-	// boundary-port lists and size the mailboxes.
+	// boundary-port lists, size the mailboxes and allocate the credit
+	// counters on every cross-shard port.
+	vcs := n.alg.VCs()
 	for s := 0; s < k; s++ {
 		sh := &n.shards[s]
 		sh.outbox = make([][]pushRecord, k)
@@ -296,38 +379,52 @@ func (n *Network) buildShards() {
 			if sh.outbox[t] == nil {
 				sh.outbox[t] = make([]pushRecord, 0, initialMailboxCap)
 			}
+			if bp.op.credits == nil {
+				bp.op.credits = make([]int16, vcs)
+			}
+		}
+	}
+	// Third pass (every outbox allocated): each shard's ascending list
+	// of inbound senders — the mailboxes its end-of-pass drain reads.
+	for s := 0; s < k; s++ {
+		sh := &n.shards[s]
+		sh.senders = sh.senders[:0]
+		for u := 0; u < k; u++ {
+			if u != s && n.shards[u].outbox[s] != nil {
+				sh.senders = append(sh.senders, int32(u))
+			}
 		}
 	}
 }
 
 // rebuildParallelSets recomputes the slot masks, distributes every
 // node's worklist membership to its owning shard, and refreshes the
-// boundary snapshots — the parallel counterpart of rebuildActiveSets,
+// boundary credits — the parallel counterpart of rebuildActiveSets,
 // run on engine entry and whenever the decomposition changes.
 func (n *Network) rebuildParallelSets() {
 	for i := range n.shards {
 		n.shards[i].wl.clear()
 	}
 	n.rebuildWorklists(func(node int) *worklists { return &n.shards[n.shardOf[node]].wl })
-	n.refreshBoundarySnapshots()
+	n.refreshBoundaryCredits()
 }
 
-// resetShards clears the per-shard worklists, scratch and boundary
-// snapshots during Network.Reset (which has just emptied every buffer),
-// keeping the shard geometry and the deferred buffers' backing arrays,
-// and parks the worker group (a reset network may next run under a
-// different engine, or not at all).
+// resetShards clears the per-shard worklists and scratch and restores
+// the boundary credits during Network.Reset (which has just emptied
+// every buffer), keeping the shard geometry and the deferred buffers'
+// backing arrays, and parks the worker group (a reset network may next
+// run under a different engine, or not at all). Mailboxes are empty at
+// every cycle boundary — the receiving shard drained them inside the
+// pass — so no in-flight flit can be stranded here.
 func (n *Network) resetShards() {
 	n.StopWorkers()
 	for i := range n.shards {
 		s := &n.shards[i]
 		s.wl.clear()
-		s.visits, s.moved = 0, false
+		s.visits, s.specs, s.cdefers, s.moved = 0, 0, 0, false
 		s.clearScratch()
-		for _, bp := range s.bports {
-			bp.op.downFull = 0
-		}
 	}
+	n.refreshBoundaryCredits()
 }
 
 // clearScratch empties the deferred buffers, keeping capacity (the
@@ -336,7 +433,6 @@ func (n *Network) resetShards() {
 func (s *parShard) clearScratch() {
 	s.ej = s.ej[:0]
 	s.stats = s.stats[:0]
-	s.defers = s.defers[:0]
 	for t := range s.outbox {
 		s.outbox[t] = s.outbox[t][:0]
 	}
@@ -345,13 +441,23 @@ func (s *parShard) clearScratch() {
 // startWorkers launches the worker group: one goroutine per shard
 // beyond shard 0. Workers are lazy — the first parallel Step starts
 // them — and park between cycles, so they cost nothing while the
-// network idles between runs.
+// network idles between runs. Phase-attribution labels are armed here
+// iff a CPU profile is already running, so the CLIs' profile-then-run
+// order picks them up and unprofiled runs skip the label machinery.
 func (n *Network) startWorkers() {
 	k := len(n.shards)
 	pr := &parRun{
-		spin:   spinBudget(k),
-		parked: make([]atomic.Bool, k-1),
-		wake:   make([]chan struct{}, k-1),
+		spin:     spinBudget(k),
+		parked:   make([]atomic.Bool, k-1),
+		wake:     make([]chan struct{}, k-1),
+		popsDone: make([]atomic.Uint64, k),
+		linkDone: make([]atomic.Uint64, k),
+	}
+	if prof.CPUProfileActive() {
+		pr.labelPass = pprof.WithLabels(context.Background(), pprof.Labels("phase", "fused-pass"))
+		pr.labelWait = pprof.WithLabels(context.Background(), pprof.Labels("phase", "barrier-wait"))
+		pr.labelSerial = pprof.WithLabels(context.Background(), pprof.Labels("phase", "serial-replay"))
+		pr.labelNone = context.Background()
 	}
 	for i := range pr.wake {
 		pr.wake[i] = make(chan struct{}, 1)
@@ -395,21 +501,20 @@ func (n *Network) shardWorker(i int, pr *parRun) {
 	s := &n.shards[i]
 	last := uint64(0)
 	for {
+		pr.setLabel(pr.labelWait)
 		g := pr.awaitRelease(i-1, last)
 		if pr.stop.Load() {
 			return
 		}
 		last = g
+		pr.setLabel(pr.labelPass)
 		switch pr.mode {
 		case passFused:
-			n.parEject(s)
-			n.parSwitchInject(s)
-			n.parLink(s)
+			n.runFusedPass(s, g)
 		case passEject:
 			n.parEject(s)
 		default: // passRest
-			n.parSwitchInject(s)
-			n.parLink(s)
+			n.runRestPass(s, g)
 		}
 		pr.pending.Add(-1)
 	}
@@ -447,15 +552,15 @@ func (pr *parRun) awaitRelease(w int, last uint64) uint64 {
 	}
 }
 
-// release opens a pass for the workers: the pass kind is published
-// first, pending re-armed, then the generation bump releases spinning
-// workers (the atomic bump orders every serial-section write before it,
-// arena growth from leases included) and parked workers get a wake
-// token.
-func (pr *parRun) release(mode, workers int) {
+// release opens a pass for the workers and returns its generation: the
+// pass kind is published first, pending re-armed, then the generation
+// bump releases spinning workers (the atomic bump orders every
+// serial-section write before it, arena growth from leases included)
+// and parked workers get a wake token.
+func (pr *parRun) release(mode, workers int) uint64 {
 	pr.mode = mode
 	pr.pending.Store(int64(workers))
-	pr.gen.Add(1)
+	g := pr.gen.Add(1)
 	for w := range pr.parked {
 		if pr.parked[w].Load() {
 			select {
@@ -464,6 +569,7 @@ func (pr *parRun) release(mode, workers int) {
 			}
 		}
 	}
+	return g
 }
 
 // await blocks the coordinator until every worker finished the pass.
@@ -475,34 +581,79 @@ func (pr *parRun) await() {
 	}
 }
 
+// awaitPops blocks until shard t has published its pops-done mark for
+// pass generation g — a point-to-point wait a zero-credit boundary
+// port pays before re-reading exact downstream occupancy. It never
+// parks: t publishes the mark unconditionally partway through the same
+// pass the waiter is in, so the wait is bounded by t's pass prefix.
+func (pr *parRun) awaitPops(t int, g uint64) {
+	for spin := 0; pr.popsDone[t].Load() < g; spin++ {
+		if spin >= pr.spin {
+			runtime.Gosched()
+		}
+	}
+}
+
+// awaitLink blocks until shard u has published its link-done mark for
+// pass generation g, after which u's mailbox appends of this pass are
+// complete (and ordered before the load). Receivers call it for each
+// inbound sender before draining; every shard publishes its own mark
+// before waiting on anyone, so the waits cannot cycle.
+func (pr *parRun) awaitLink(u int, g uint64) {
+	for spin := 0; pr.linkDone[u].Load() < g; spin++ {
+		if spin >= pr.spin {
+			runtime.Gosched()
+		}
+	}
+}
+
+// runFusedPass executes one shard's full single-barrier cycle body.
+func (n *Network) runFusedPass(s *parShard, g uint64) {
+	n.parEject(s)
+	n.runRestPass(s, g)
+}
+
+// runRestPass executes the switch+inject and link phases of one shard's
+// pass, publishing the credit-discipline progress marks at the required
+// points — popsDone after the last input-buffer pop of the pass,
+// linkDone after the last mailbox append — and finally draining the
+// shard's own inboxes (complete once every sender's linkDone is in).
+func (n *Network) runRestPass(s *parShard, g uint64) {
+	n.parSwitchInject(s)
+	pr := n.pr
+	pr.popsDone[s.idx].Store(g)
+	n.parLink(s, g)
+	pr.linkDone[s.idx].Store(g)
+	n.drainInboxes(s, g)
+}
+
 // stepParallel advances one cycle under the domain decomposition. The
 // common shape (no OnEject callback) is the single-barrier fused cycle:
 //
-//	fused pass (parallel)  ejection → switch+inject → link per shard;
-//	                       ejection/stat completions and cross-shard
-//	                       deliveries deferred, undecidable boundary
-//	                       ports queued for replay
-//	barrier     (serial)   ejection replay, deferred boundary-port
-//	                       replays, mailbox applies, stats replay,
-//	                       cycle close, snapshot refresh
+//	fused pass (parallel)  ejection → switch+inject → link → inbox
+//	                       drain per shard; ejection/stat completions
+//	                       deferred, cross-shard deliveries resolved
+//	                       in-pass by the credit discipline
+//	barrier     (serial)   ejection replay, stats replay, cycle close,
+//	                       credit refresh
 //
 // With an OnEject callback the replies must inject the same cycle, so
 // the ejection span splits off and the cycle pays a second barrier:
 //
 //	ejection pass (parallel) → barrier: replay (stats → OnEject →
-//	recycle) → fused switch+inject+link pass (parallel) → barrier:
+//	recycle) → switch+inject+link+drain pass (parallel) → barrier:
 //	cycle-end serial section as above
 func (n *Network) stepParallel() {
 	n.moved = false
 	if len(n.shards) == 1 {
 		// Degenerate single-shard decomposition: same machinery minus
-		// the workers and barriers — still exercises the deferred-replay
-		// paths.
+		// the workers, barriers and credit waits (no port crosses a
+		// shard boundary) — still exercises the pass and replay code.
 		s := &n.shards[0]
 		n.parEject(s)
 		n.replayEjections()
 		n.parSwitchInject(s)
-		n.parLink(s)
+		n.parLink(s, 0)
 		n.finishParallelCycle()
 		return
 	}
@@ -513,26 +664,33 @@ func (n *Network) stepParallel() {
 	workers := len(n.shards) - 1
 	s0 := &n.shards[0]
 	if n.onEject == nil {
-		pr.release(passFused, workers)
-		n.parEject(s0)
-		n.parSwitchInject(s0)
-		n.parLink(s0)
+		g := pr.release(passFused, workers)
+		pr.setLabel(pr.labelPass)
+		n.runFusedPass(s0, g)
+		pr.setLabel(pr.labelWait)
 		pr.await()
 		n.barriers++
+		pr.setLabel(pr.labelSerial)
 		n.replayEjections()
 	} else {
 		pr.release(passEject, workers)
+		pr.setLabel(pr.labelPass)
 		n.parEject(s0)
+		pr.setLabel(pr.labelWait)
 		pr.await()
 		n.barriers++
+		pr.setLabel(pr.labelSerial)
 		n.replayEjections()
-		pr.release(passRest, workers)
-		n.parSwitchInject(s0)
-		n.parLink(s0)
+		g := pr.release(passRest, workers)
+		pr.setLabel(pr.labelPass)
+		n.runRestPass(s0, g)
+		pr.setLabel(pr.labelWait)
 		pr.await()
 		n.barriers++
+		pr.setLabel(pr.labelSerial)
 	}
 	n.finishParallelCycle()
+	pr.setLabel(pr.labelNone)
 }
 
 // parEject mirrors activeEject over one shard's ejection worklist,
@@ -702,9 +860,8 @@ func (n *Network) parInject(s *parShard) {
 // into a router of the same shard are applied directly with exact
 // occupancy checks (all of this shard's pops already ran in the fused
 // pass, and no other shard pushes into this shard's input slots).
-// Cross-shard arrivals use the speculative snapshot discipline of
-// parLinkPort.
-func (n *Network) parLink(s *parShard) {
+// Cross-shard arrivals use the credit discipline of parLinkPort.
+func (n *Network) parLink(s *parShard, g uint64) {
 	vcs := n.alg.VCs()
 	rrVC := int(n.modTab[vcs]) // every port has alg.VCs() queues
 	s.wl.out.forEach(func(node int) {
@@ -715,7 +872,7 @@ func (n *Network) parLink(s *parShard) {
 			if occ == 0 {
 				continue
 			}
-			n.parLinkPort(s, node, r, op, occ, vcs, rrVC)
+			n.parLinkPort(s, node, r, op, occ, vcs, rrVC, g)
 		}
 	})
 }
@@ -723,13 +880,19 @@ func (n *Network) parLink(s *parShard) {
 // parLinkPort mirrors linkPort under the fused pass. For a same-shard
 // destination the downstream fullness read is exact (see parLink). For
 // a cross-shard destination the decision consults the cycle-start
-// snapshot (outPort.downFull): a clear bit proves the slot still has
-// room at the serial decision point (its occupancy can only have
-// shrunk — the single producer is this port), so the flit is delivered
-// speculatively into the pair mailbox; a set bit means the owner's
-// pops this cycle decide, so the whole port defers to the barrier's
-// exact replay. Both reproduce the serial round-robin outcome exactly.
-func (n *Network) parLinkPort(s *parShard, node int, r *router, op *outPort, occ uint64, vcs, rr int) {
+// credit counter (outPort.credits[vc]): a positive count proves the
+// slot still has room at the serial decision point (its occupancy can
+// only have shrunk — the single producer is this port), so the flit
+// departs on the spot; a zero count means the owner's pops this cycle
+// decide, so the port waits for the downstream shard's popsDone mark
+// and re-reads exact occupancy — the identical check the serial link
+// sweep performs, now resolved inside the pass instead of a cycle-end
+// serial replay. Either way the delivery itself travels through the
+// pair mailbox (pushing into a foreign shard's bookkeeping directly
+// would race with its own pass) and is drained by the receiving shard
+// at the end of its pass. Both outcomes reproduce the serial
+// round-robin decision exactly.
+func (n *Network) parLinkPort(s *parShard, node int, r *router, op *outPort, occ uint64, vcs, rr int, g uint64) {
 	a := &n.arena
 	for k := 0; k < vcs; k++ {
 		vi := rr + k
@@ -750,14 +913,15 @@ func (n *Network) parLinkPort(s *parShard, node int, r *router, op *outPort, occ
 		}
 		dst := op.ch.Dst
 		if t := int(n.shardOf[dst]); t != s.idx {
-			if op.downFull&(1<<uint(vi)) != 0 {
-				// Undecidable locally: the slot was full when the cycle
-				// started and only its owner knows whether this cycle's
-				// pops made room. Defer the whole port (nothing was
-				// popped, so the barrier replay re-runs the identical
-				// round-robin scan against exact state).
-				s.defers = append(s.defers, bport{node: int32(node), op: op})
-				return
+			if op.credits[vi] > 0 {
+				op.credits[vi]--
+				s.specs++
+			} else {
+				s.cdefers++
+				n.pr.awaitPops(t, g)
+				if op.peer.full(vi, n.cfg.InBufCap) {
+					continue
+				}
 			}
 			n.outPop(&s.wl, node, r, op, vi)
 			a.lastMove[fi] = n.cycle + 1
@@ -785,109 +949,61 @@ func (n *Network) parLinkPort(s *parShard, node int, r *router, op *outPort, occ
 	}
 }
 
-// replayDeferredLinks re-runs, in canonical order, the round-robin scan
-// of every boundary port whose decision was deferred, now against exact
-// downstream occupancy (all shards' pops are done; the only producer of
-// each examined slot is the deferred port itself, which moved nothing).
-// Link decisions are pairwise independent — each reads its own output
-// queue and its unique downstream slot — so replaying them after the
-// barrier instead of inside the serial engine's link sweep changes no
-// outcome.
-func (n *Network) replayDeferredLinks() {
-	vcs := n.alg.VCs()
-	rr := int(n.modTab[vcs])
-	for i := range n.shards {
-		s := &n.shards[i]
-		for _, bp := range s.defers {
-			n.sreplays++
-			n.replayBoundaryPort(s, int(bp.node), bp.op, vcs, rr)
+// drainInboxes applies the cross-shard arrivals addressed to this shard
+// at the end of its own pass, in canonical ascending sender-shard
+// order, once every sender's linkDone mark proves its mailbox complete.
+// The pushes run against the shard's own routers and worklists (single
+// writer), and a boundary port of ANOTHER shard still mid-decision
+// cannot observe them: the only slot such a port examines is one this
+// very drain can never touch, because its sole producer is that port
+// itself and same-cycle records from it would require the port to have
+// already decided. Emptying the mailboxes inside the pass keeps every
+// cycle-boundary observer (fingerprints, telemetry, conservation,
+// Reset) oblivious to the mailbox mechanism.
+func (n *Network) drainInboxes(s *parShard, g uint64) {
+	if len(s.senders) == 0 {
+		return
+	}
+	pr := n.pr
+	for _, u := range s.senders {
+		pr.awaitLink(int(u), g)
+	}
+	for _, u := range s.senders {
+		src := &n.shards[u]
+		box := src.outbox[s.idx]
+		for _, rec := range box {
+			n.inPush(&s.wl, rec.node, n.routers[rec.node], rec.p, rec.vc, rec.h)
 		}
-		s.defers = s.defers[:0]
+		src.outbox[s.idx] = box[:0]
 	}
 }
 
-// replayBoundaryPort is the exact (serial-section) form of parLinkPort
-// for one deferred port, pushing straight into the owning shard's
-// worklists.
-func (n *Network) replayBoundaryPort(s *parShard, node int, op *outPort, vcs, rr int) {
-	a := &n.arena
-	r := n.routers[node]
-	occ := r.outOcc.port(op.slotBase, vcs)
-	for k := 0; k < vcs; k++ {
-		vi := rr + k
-		if vi >= vcs {
-			vi -= vcs
-		}
-		if occ&(1<<uint(vi)) == 0 {
-			continue
-		}
-		v := op.vcs[vi]
-		h := v.head()
-		fi := a.flitIndex(h)
-		if a.lastMove[fi] >= n.cycle+1 {
-			continue
-		}
-		if !n.canDepart(v) {
-			continue
-		}
-		ip := op.peer
-		if ip.full(vi, n.cfg.InBufCap) {
-			continue
-		}
-		n.outPop(&s.wl, node, r, op, vi)
-		a.lastMove[fi] = n.cycle + 1
-		if h.seq() == 0 {
-			a.hops[h.pkt()]++
-		}
-		n.linkFlits[op.ch.ID]++
-		dst := op.ch.Dst
-		n.inPush(&n.shards[n.shardOf[dst]].wl, dst, op.peerRouter, ip, vi, h)
-		n.moved = true
-		return // one flit per physical link per cycle
-	}
-}
-
-// refreshBoundarySnapshots recomputes every boundary port's downstream
-// per-VC fullness snapshot from the buffers. It runs in the serial
-// section at each cycle close (and on any rebuild), after all pops,
-// mailbox applies and deferred replays — i.e. at exactly the instant
-// the next cycle's speculation treats as "cycle start".
-func (n *Network) refreshBoundarySnapshots() {
+// refreshBoundaryCredits recomputes every boundary port's per-VC credit
+// counters from the downstream buffers. It runs in the serial section
+// at each cycle close (and on any rebuild), after all pops and drains —
+// i.e. at exactly the instant the next cycle's speculation treats as
+// "cycle start", so credits[vc] == free slots of peer.bufs[vc] holds at
+// every cycle boundary (an invariant CheckConservation enforces).
+func (n *Network) refreshBoundaryCredits() {
 	bufCap := n.cfg.InBufCap
 	for i := range n.shards {
 		s := &n.shards[i]
 		for _, bp := range s.bports {
 			ip := bp.op.peer
-			var full uint64
 			for vc := range ip.bufs {
-				if ip.bufs[vc].len() >= bufCap {
-					full |= 1 << uint(vc)
-				}
+				bp.op.credits[vc] = int16(bufCap - ip.bufs[vc].len())
 			}
-			bp.op.downFull = full
 		}
 	}
 }
 
-// finishParallelCycle is the end-of-cycle serial section: replay the
-// deferred boundary-port decisions exactly, apply the speculative
-// cross-shard arrivals from the per-pair mailboxes in canonical order,
-// replay the deferred injection statistics, merge the per-shard scratch
-// counters, close the cycle exactly as stepActive does, and refresh the
-// boundary snapshots for the next cycle's speculation.
+// finishParallelCycle is the end-of-cycle serial section — all that
+// remains of it after the credit discipline moved the boundary-port
+// decisions and the mailbox applies into the passes: replay the
+// deferred injection statistics, merge the per-shard scratch counters,
+// close the cycle exactly as stepActive does, and refresh the boundary
+// credits for the next cycle's speculation.
 func (n *Network) finishParallelCycle() {
-	n.replayDeferredLinks()
-	for t := range n.shards {
-		wl := &n.shards[t].wl
-		for i := range n.shards {
-			s := &n.shards[i]
-			box := s.outbox[t]
-			for _, rec := range box {
-				n.inPush(wl, rec.node, n.routers[rec.node], rec.p, rec.vc, rec.h)
-			}
-			s.outbox[t] = box[:0]
-		}
-	}
 	for i := range n.shards {
 		s := &n.shards[i]
 		for _, st := range s.stats {
@@ -905,6 +1021,10 @@ func (n *Network) finishParallelCycle() {
 		}
 		n.visits += s.visits
 		s.visits = 0
+		n.specs += s.specs
+		s.specs = 0
+		n.cdefers += s.cdefers
+		s.cdefers = 0
 	}
 	if n.moved {
 		n.lastActivity = n.cycle
@@ -917,7 +1037,7 @@ func (n *Network) finishParallelCycle() {
 		}
 		n.modTab[d] = v
 	}
-	n.refreshBoundarySnapshots()
+	n.refreshBoundaryCredits()
 }
 
 // checkParallelInvariants proves the cross-shard bookkeeping the
@@ -926,14 +1046,17 @@ func (n *Network) finishParallelCycle() {
 // dictates, no shard's worklists hold a node outside its range (a
 // foreign member would be drained by the wrong goroutine), the
 // precomputed boundary-port lists name exactly the cross-shard output
-// ports in canonical order with downstream snapshots that match the
-// buffers, and — at every cycle boundary — the deferred-effect buffers
-// and every per-pair mailbox are empty and the scratch counters merged,
-// so no packet, credit or statistic is parked between shards. Together
-// with CheckConservation's global packet and arena accounting this
-// proves cross-shard conservation: every flit that left one shard's
-// output queue arrived in the owning shard's input bookkeeping the same
-// cycle.
+// ports in canonical order with credit counters that match the
+// downstream buffers (no counter negative — no overdraft — and none
+// stale), the sender lists name exactly the shards with inbound
+// boundary ports, and — at every cycle boundary — the deferred-effect
+// buffers and every per-pair mailbox are empty (each receiving shard
+// drained its inboxes inside the pass) and the scratch counters are
+// merged, so no packet, credit or statistic is parked between shards.
+// Together with CheckConservation's global packet and arena accounting
+// this proves cross-shard conservation: every flit that left one
+// shard's output queue arrived in the owning shard's input bookkeeping
+// the same cycle.
 func (n *Network) checkParallelInvariants() error {
 	nodes := n.topo.Nodes()
 	k := n.shardCount
@@ -960,23 +1083,25 @@ func (n *Network) checkParallelInvariants() error {
 					bad, i, set.name, n.shardOf[bad])
 			}
 		}
-		if len(s.ej) != 0 || len(s.stats) != 0 || len(s.defers) != 0 {
-			return fmt.Errorf("noc: shard %d holds unreplayed deferred effects at a cycle boundary (%d ejections, %d stats, %d deferred link ports)",
-				i, len(s.ej), len(s.stats), len(s.defers))
+		if len(s.ej) != 0 || len(s.stats) != 0 {
+			return fmt.Errorf("noc: shard %d holds unreplayed deferred effects at a cycle boundary (%d ejections, %d stats)",
+				i, len(s.ej), len(s.stats))
 		}
 		if len(s.outbox) != k {
 			return fmt.Errorf("noc: shard %d has %d mailboxes for %d shards", i, len(s.outbox), k)
 		}
 		for t := range s.outbox {
 			if len(s.outbox[t]) != 0 {
-				return fmt.Errorf("noc: shard %d->%d mailbox holds %d undelivered link arrivals at a cycle boundary",
+				return fmt.Errorf("noc: shard %d->%d mailbox holds %d undrained link arrivals at a cycle boundary",
 					i, t, len(s.outbox[t]))
 			}
 		}
 		// The boundary-port list must be exactly the shard's cross-shard
 		// output ports in canonical (ascending node, port) order, and
-		// each snapshot must equal the buffer-derived fullness — a stale
-		// snapshot would let the next cycle speculate wrongly.
+		// each credit counter must equal the buffer-derived free-slot
+		// count — a negative counter would mean speculation overdrew the
+		// downstream buffer, a stale one would let the next cycle
+		// speculate wrongly.
 		bi := 0
 		for v := s.lo; v < s.hi; v++ {
 			for _, op := range n.routers[v].out {
@@ -987,15 +1112,20 @@ func (n *Network) checkParallelInvariants() error {
 					return fmt.Errorf("noc: shard %d boundary-port list out of order or incomplete at node %d", i, v)
 				}
 				ip := op.peer
-				var full uint64
-				for vc := range ip.bufs {
-					if ip.bufs[vc].len() >= n.cfg.InBufCap {
-						full |= 1 << uint(vc)
-					}
+				if len(op.credits) < len(ip.bufs) {
+					return fmt.Errorf("noc: boundary port %d->%d has %d credit counters for %d VCs",
+						v, op.ch.Dst, len(op.credits), len(ip.bufs))
 				}
-				if op.downFull != full {
-					return fmt.Errorf("noc: boundary port %d->%d snapshot %#x disagrees with downstream buffers %#x",
-						v, op.ch.Dst, op.downFull, full)
+				for vc := range ip.bufs {
+					c := int(op.credits[vc])
+					if c < 0 {
+						return fmt.Errorf("noc: boundary port %d->%d VC %d credit overdraft (%d)",
+							v, op.ch.Dst, vc, c)
+					}
+					if want := n.cfg.InBufCap - ip.bufs[vc].len(); c != want {
+						return fmt.Errorf("noc: boundary port %d->%d VC %d holds %d credits, downstream buffer has %d free slots",
+							v, op.ch.Dst, vc, c, want)
+					}
 				}
 				bi++
 			}
@@ -1003,7 +1133,34 @@ func (n *Network) checkParallelInvariants() error {
 		if bi != len(s.bports) {
 			return fmt.Errorf("noc: shard %d lists %d boundary ports, geometry has %d", i, len(s.bports), bi)
 		}
-		if s.visits != 0 || s.moved {
+		// The sender list must name exactly the shards with at least one
+		// boundary port into this shard, ascending — the end-of-pass
+		// drain reads only these mailboxes, so a missing sender would
+		// strand its deliveries.
+		si := 0
+		for u := 0; u < k; u++ {
+			if u == i {
+				continue
+			}
+			has := false
+			for _, bp := range n.shards[u].bports {
+				if int(n.shardOf[bp.op.ch.Dst]) == i {
+					has = true
+					break
+				}
+			}
+			if !has {
+				continue
+			}
+			if si >= len(s.senders) || int(s.senders[si]) != u {
+				return fmt.Errorf("noc: shard %d sender list out of order or incomplete at sender %d", i, u)
+			}
+			si++
+		}
+		if si != len(s.senders) {
+			return fmt.Errorf("noc: shard %d lists %d senders, geometry has %d", i, len(s.senders), si)
+		}
+		if s.visits != 0 || s.specs != 0 || s.cdefers != 0 || s.moved {
 			return fmt.Errorf("noc: shard %d scratch counters not merged at a cycle boundary", i)
 		}
 	}

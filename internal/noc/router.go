@@ -100,13 +100,16 @@ type outPort struct {
 	peer       *inPort
 	peerRouter *router
 
-	// downFull is the parallel engine's cycle-start snapshot of the
-	// downstream input port's per-VC fullness, maintained only on
-	// cross-shard ports (refreshBoundarySnapshots). Bit vc set means
-	// bufs[vc] held >= InBufCap flits at the last barrier; clear proves
-	// the slot still has room mid-cycle (this port is the slot's only
-	// producer), licensing speculative delivery.
-	downFull uint64
+	// credits is the parallel engine's cycle-start credit snapshot of
+	// the downstream input port: credits[vc] counts the free slots of
+	// peer.bufs[vc] at the last barrier (refreshBoundaryCredits).
+	// Maintained — and allocated — only on cross-shard ports. A positive
+	// count proves the slot still has room at the serial decision point
+	// mid-cycle (this port is the slot's only producer, so its occupancy
+	// can only shrink until this port pushes), licensing speculative
+	// delivery; a zero count makes the port synchronize on the
+	// downstream shard's pop completion and re-read exact occupancy.
+	credits []int16
 }
 
 // routeEntry is the switching state the head flit configures: flits of

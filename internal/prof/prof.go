@@ -12,7 +12,20 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync/atomic"
 )
+
+// cpuActive tracks whether a Start-initiated CPU profile is currently
+// running. Hot paths that would attach pprof goroutine labels (the
+// parallel engine's phase attribution) consult it so that an unprofiled
+// run pays a single atomic load instead of label bookkeeping.
+var cpuActive atomic.Bool
+
+// CPUProfileActive reports whether a CPU profile started by Start is
+// still running (its stop function has not been called yet). Label
+// producers sample it at setup time, so a profile must be armed before
+// the instrumented subsystem starts — which is how the CLIs order it.
+func CPUProfileActive() bool { return cpuActive.Load() }
 
 // Start begins the requested profiles (empty paths disable each). The
 // returned stop function ends the CPU profile, writes the heap profile,
@@ -29,6 +42,7 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			cpuFile.Close()
 			return nil, err
 		}
+		cpuActive.Store(true)
 	}
 	var before runtime.MemStats
 	if memPath != "" {
@@ -36,6 +50,7 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 	}
 	return func() error {
 		if cpuFile != nil {
+			cpuActive.Store(false)
 			pprof.StopCPUProfile()
 			if err := cpuFile.Close(); err != nil {
 				return err
