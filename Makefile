@@ -6,7 +6,7 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: all build test vet lint fmt fmt-check cover bench bench-check bench-alloc bench-baseline bench-speedup race-parallel race-parallel-4 golden-gogcoff telemetry-check ci
+.PHONY: all build test vet lint fmt fmt-check cover bench bench-check bench-alloc bench-baseline bench-speedup race-parallel race-parallel-4 golden-gogcoff telemetry-check dist-chaos ci
 
 all: build
 
@@ -118,8 +118,19 @@ telemetry-check:
 	diff -u testdata/telemetry-knee-summary.golden "$$tmp/summary.txt"; \
 	$(GO) run ./cmd/noctsd roundtrip "$$tmp/knee.tsd"
 
+# dist-chaos runs the distributed-coordinator supervision suite twice
+# under the race detector: real subprocess workers SIGKILLed mid-shard,
+# hung past the heartbeat deadline and emitting torn shard files, with
+# the merged stream checked byte-for-byte against the serial golden.
+# Coordinator event logs land in dist-logs/ (appended across runs), the
+# artifact CI uploads when this fails.
+# DIST_LOG_DIR is absolute: the tests run with the package directory
+# as cwd, but the artifact path must be repo-relative for CI's upload.
+dist-chaos:
+	DIST_LOG_DIR=$(CURDIR)/dist-logs $(GO) test -race -count=2 -timeout 8m ./internal/dist/
+
 # ci runs bench-alloc rather than bench-check: it is the same gate
 # against the same baseline, with -benchmem columns added for free.
 # cover re-runs the race suite with -coverprofile, exactly as CI's
 # coverage step does.
-ci: build vet lint fmt-check cover race-parallel race-parallel-4 golden-gogcoff telemetry-check bench bench-alloc bench-speedup
+ci: build vet lint fmt-check cover race-parallel race-parallel-4 golden-gogcoff telemetry-check dist-chaos bench bench-alloc bench-speedup

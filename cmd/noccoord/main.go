@@ -1,0 +1,115 @@
+// Command noccoord is the standalone campaign coordinator: it spawns N
+// copies of a worker command, leases deterministic campaign shards to
+// them over a line-delimited JSON protocol on stdin/stdout, and
+// supervises the fleet — per-worker heartbeats with deadline-based
+// liveness, crash detection with capped exponential-backoff restarts,
+// work-stealing re-leases of straggler shards — while streaming the
+// merged, byte-identical unsharded JSONL as shards complete.
+//
+// Any command speaking the dist worker protocol works; `nocsweep
+// -worker <campaign flags>` is the stock one. The worker command
+// follows "--":
+//
+//	noccoord -workers 4 -shards 16 -out merged.jsonl -- \
+//	    nocsweep -worker -topo ring,spidergon,mesh -n 16 \
+//	             -rates 0.05,0.1,0.2,0.3,0.4 -reps 5
+//
+// Shard coverage of the merged file is validated (missing or
+// overlapping index ranges fail the merge), so a lost shard can never
+// silently shorten the output. For the one-command local case, use
+// `nocsweep -workers N` instead — it adds graceful degradation to
+// in-process execution, which a generic coordinator cannot offer.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gonoc/internal/dist"
+)
+
+func main() {
+	var (
+		workers     = flag.Int("workers", 2, "worker processes to spawn and supervise")
+		shards      = flag.Int("shards", 0, "campaign shard count (0 = 4x workers)")
+		out         = flag.String("out", "", "write the merged JSONL stream to this file (default stdout)")
+		events      = flag.String("events", "", "write the supervision event log to this file (default stderr)")
+		heartbeat   = flag.Duration("heartbeat", 500*time.Millisecond, "worker heartbeat interval")
+		deadline    = flag.Duration("deadline", 0, "liveness deadline before a silent worker is killed (0 = 4x heartbeat)")
+		maxRestarts = flag.Int("max-restarts", 3, "supervised restarts per worker slot before giving up on it")
+		maxAttempts = flag.Int("max-attempts", 4, "leases per shard before the campaign fails")
+		stealFactor = flag.Float64("steal-factor", 3, "re-lease a shard once its lease is this multiple of the median completed-shard duration")
+	)
+	flag.Parse()
+	argv := flag.Args()
+	if len(argv) == 0 {
+		fatal(fmt.Errorf("no worker command; usage: noccoord [flags] -- worker-cmd args..."))
+	}
+	if *shards <= 0 {
+		*shards = 4 * *workers
+	}
+
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+
+	var outW io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			// A close error means the merged file is truncated; exiting
+			// 0 would pass the corruption downstream.
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		outW = f
+	}
+	var evW io.Writer = os.Stderr
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		evW = f
+	}
+
+	co, err := dist.New(dist.Options{
+		Workers:           *workers,
+		Shards:            *shards,
+		Heartbeat:         *heartbeat,
+		Deadline:          *deadline,
+		MaxWorkerRestarts: *maxRestarts,
+		MaxShardAttempts:  *maxAttempts,
+		StealFactor:       *stealFactor,
+		Launch:            &dist.LocalLauncher{Argv: argv, Env: os.Environ(), Stderr: os.Stderr},
+		Out:               outW,
+		Events:            evW,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	aggs, err := co.Run(ctx)
+	fmt.Fprintf(os.Stderr, "# noccoord: %d shards on %d workers: %d restarts, %d deadline kills, %d steals, %d duplicate completions\n",
+		*shards, *workers,
+		co.CountEvents(dist.EventRestart), co.CountEvents(dist.EventMiss),
+		co.CountEvents(dist.EventSteal), co.CountEvents(dist.EventDuplicate))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "# noccoord: merged %d grid points\n", len(aggs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "noccoord:", err)
+	os.Exit(1)
+}

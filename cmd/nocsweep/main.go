@@ -16,20 +16,36 @@
 //	nocsweep -shard 0/2 -out s0.jsonl                     # one shard...
 //	nocsweep -shard 1/2 -out s1.jsonl                     # ...its twin
 //	nocsweep -merge s0.jsonl,s1.jsonl -out merged.jsonl   # == unsharded
+//	nocsweep -workers 4 -out merged.jsonl                 # supervised fan-out
+//
+// -workers N runs the campaign as a supervised multi-process fan-out:
+// the process becomes a coordinator that spawns N copies of itself in
+// -worker mode, leases deterministic shards to them over
+// stdin/stdout, restarts crashed workers with capped backoff, kills
+// and re-leases hung ones past their heartbeat deadline, re-leases
+// straggler shards to idle workers, and streams the merged output —
+// byte-identical to the unsharded run — as shards complete. A shard
+// that exhausts its attempts degrades to running in the coordinator
+// process, so the campaign still completes.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"gonoc/internal/analysis"
 	"gonoc/internal/core"
+	"gonoc/internal/dist"
 	"gonoc/internal/exp"
 	"gonoc/internal/prof"
 	"gonoc/internal/stats"
@@ -61,8 +77,18 @@ func main() {
 		compact  = flag.Bool("cache-compact", false, "compact the -cache store (drop superseded/duplicate entries) and exit; run only while no campaign is writing to it")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		workers  = flag.Int("workers", 0, "supervised fan-out: spawn this many local worker processes and coordinate them (restarts, heartbeats, work-stealing)")
+		nShards  = flag.Int("dist-shards", 0, "shard count for -workers (0 = 4x workers, capped at the point count)")
+		events   = flag.String("events", "", "write the coordinator's supervision event log to this file")
+		worker   = flag.Bool("worker", false, "internal: serve shard leases on stdin/stdout (spawned by -workers or noccoord)")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the campaign context: in-flight simulations
+	// finish, sinks are flushed and closed, and partial results survive
+	// (see the graceful-shutdown path below).
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -150,6 +176,31 @@ func main() {
 		runner.Cache = cache
 	}
 
+	if *worker {
+		// Worker mode: the campaign spec comes from this process's own
+		// flags (the coordinator spawned us with the same ones); the
+		// lease on stdin only picks the shard.
+		if err := serveWorker(ctx, campaign, runner); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *workers > 0 {
+		// Workers split the machine: unless -parallel pins a budget,
+		// each worker gets an even share of GOMAXPROCS.
+		perWorker := *parallel
+		if perWorker <= 0 {
+			perWorker = (runtime.GOMAXPROCS(0) + *workers - 1) / *workers
+		}
+		argv := workerArgv(*topos, *ns, *tk, *rates, *reps, *warmup, *measure, *seed, perWorker, *stepPar, *cacheDir)
+		aggs, err := coordinate(ctx, campaign, runner, *workers, *nShards, argv, *out, *events, *sqlOut != "")
+		if err != nil {
+			fatal(err)
+		}
+		printTable(aggs, fmt.Sprintf("sweep (%d workers): N=%s, %s, reps=%d", *workers, *ns, *tk, *reps), *lat, *csv)
+		return
+	}
+
 	var sinks []exp.Sink
 	var outFile *os.File
 	if *out != "" {
@@ -166,22 +217,42 @@ func main() {
 		sinks = append(sinks, sqlSink)
 	}
 
-	aggs, err := runner.Run(context.Background(), campaign, sinks...)
+	// closeSinks flushes and closes every sink exactly once. It runs on
+	// the success path AND on cancellation/error: an interrupted
+	// campaign must still leave a well-formed JSONL prefix and a valid
+	// SQLite archive of whatever completed, never a torn record.
+	sinksClosed := false
+	closeSinks := func() error {
+		if sinksClosed {
+			return nil
+		}
+		sinksClosed = true
+		if outFile != nil {
+			// A close error here means the results file is truncated;
+			// exiting 0 would pass the corruption downstream.
+			if err := outFile.Close(); err != nil {
+				return err
+			}
+		}
+		if sqlSink != nil {
+			// The archive is assembled in memory and only hits disk here.
+			if err := sqlSink.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	aggs, err := runner.Run(ctx, campaign, sinks...)
+	if cerr := closeSinks(); cerr != nil {
+		fatal(cerr)
+	}
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "# interrupted: partial results flushed; sinks closed cleanly")
+		os.Exit(130)
+	}
 	if err != nil {
 		fatal(err)
-	}
-	if outFile != nil {
-		// A close error here means the results file is truncated;
-		// exiting 0 would pass the corruption downstream.
-		if err := outFile.Close(); err != nil {
-			fatal(err)
-		}
-	}
-	if sqlSink != nil {
-		// The archive is assembled in memory and only hits disk here.
-		if err := sqlSink.Close(); err != nil {
-			fatal(err)
-		}
 	}
 
 	printTable(aggs, fmt.Sprintf("sweep: N=%s, %s, reps=%d", *ns, *tk, *reps), *lat, *csv)
@@ -216,6 +287,114 @@ func main() {
 				key, rate*plen, analysis.UniformSaturationBound(topo))
 		}
 	}
+}
+
+// serveWorker runs the worker half of a supervised fan-out: the
+// campaign spec is already resolved from this process's own flags (the
+// coordinator spawns workers with the same campaign flags it was
+// given), so leases on stdin only select shard slices of it.
+func serveWorker(ctx context.Context, c exp.Campaign, base exp.Runner) error {
+	return dist.ServeWorker(ctx, os.Stdin, os.Stdout, shardRunner(c, base),
+		dist.WorkerOptions{ChaosSpec: os.Getenv(dist.ChaosEnv)})
+}
+
+// shardRunner adapts the campaign runner to the dist lease interface —
+// shared by worker mode and the coordinator's inline degradation path,
+// so a degraded shard runs exactly the code a worker would have run.
+func shardRunner(c exp.Campaign, base exp.Runner) dist.ShardRunner {
+	return func(ctx context.Context, lease dist.Lease, w io.Writer, progress func(done, total int)) error {
+		r := base
+		r.Shard = exp.Shard{Index: lease.Shard, Count: lease.Count}
+		r.Progress = progress
+		_, err := r.Run(ctx, c, exp.NewJSONLWriter(w))
+		return err
+	}
+}
+
+// coordinate runs the campaign as a supervised multi-process fan-out
+// and returns the merged aggregates.
+func coordinate(ctx context.Context, c exp.Campaign, base exp.Runner, workers, nShards int, argv []string, out, events string, sqlite bool) ([]exp.Aggregate, error) {
+	if sqlite {
+		return nil, fmt.Errorf("-sqlite is not supported with -workers; merge to JSONL and archive separately")
+	}
+	if base.CITarget > 0 || base.Refine > 0 {
+		return nil, fmt.Errorf("-workers is incompatible with -ci-target and -refine (sharding precludes adaptive scheduling)")
+	}
+	pts, err := c.Points()
+	if err != nil {
+		return nil, err
+	}
+	shards := nShards
+	if shards <= 0 {
+		shards = 4 * workers
+	}
+	if shards > len(pts) {
+		shards = len(pts)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+
+	var outW io.Writer
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return nil, err
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		outW = f
+	}
+	var evW io.Writer
+	if events != "" {
+		f, err := os.Create(events)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		evW = f
+	}
+
+	co, err := dist.New(dist.Options{
+		Workers: workers,
+		Shards:  shards,
+		Launch:  &dist.LocalLauncher{Argv: argv, Env: os.Environ(), Stderr: os.Stderr},
+		Inline:  shardRunner(c, base),
+		Out:     outW,
+		Events:  evW,
+	})
+	if err != nil {
+		return nil, err
+	}
+	aggs, err := co.Run(ctx)
+	fmt.Fprintf(os.Stderr, "# dist: %d shards on %d workers: %d restarts, %d deadline kills, %d steals, %d duplicate completions, %d inline runs\n",
+		shards, workers,
+		co.CountEvents(dist.EventRestart), co.CountEvents(dist.EventMiss),
+		co.CountEvents(dist.EventSteal), co.CountEvents(dist.EventDuplicate),
+		co.CountEvents(dist.EventInline))
+	return aggs, err
+}
+
+// workerArgv reconstructs the canonical worker command line from the
+// parsed campaign flags — rebuilding from values rather than filtering
+// os.Args sidesteps every "-flag value" vs "-flag=value" ambiguity.
+func workerArgv(topos, ns, tk, rates string, reps int, warmup, measure, seed uint64, perWorker, stepPar int, cacheDir string) []string {
+	argv := []string{os.Args[0], "-worker",
+		"-topo", topos, "-n", ns, "-traffic", tk, "-rates", rates,
+		"-reps", strconv.Itoa(reps),
+		"-warmup", strconv.FormatUint(warmup, 10),
+		"-measure", strconv.FormatUint(measure, 10),
+		"-seed", strconv.FormatUint(seed, 10),
+		"-parallel", strconv.Itoa(perWorker),
+		"-step-parallel", strconv.Itoa(stepPar),
+	}
+	if cacheDir != "" {
+		argv = append(argv, "-cache", cacheDir)
+	}
+	return argv
 }
 
 // mergeShards concatenates shard JSONL streams: run records verbatim,

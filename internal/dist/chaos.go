@@ -1,0 +1,98 @@
+package dist
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Chaos is the worker-side fault-injection harness behind the
+// integration tests: it perturbs one shard attempt the way real
+// failures do, so the supervision paths are exercised against actual
+// process deaths, protocol silences and torn files rather than mocks.
+// The zero value injects nothing.
+type Chaos struct {
+	// KillAfter > 0 SIGKILLs the worker process after that many
+	// completed shard points — an uncatchable mid-shard crash, exactly
+	// what an OOM kill or node loss looks like from the coordinator.
+	KillAfter int
+	// HangAfter > 0 wedges the worker after that many points: it stops
+	// making progress AND stops heartbeating (the protocol writer is
+	// held locked), so only the coordinator's deadline can notice.
+	HangAfter int
+	// CorruptOutput truncates the shard file after the worker has
+	// closed it but reports the original size and hash — the on-disk
+	// state a crash between write and fsync leaves behind. The
+	// coordinator's re-hash of the file must catch it.
+	CorruptOutput bool
+}
+
+// ChaosEnv is the test-only environment knob: a semicolon-separated
+// list of per-shard directives, each "shard:fault" with fault one of
+// kill@N, hang@N or corrupt. Example:
+//
+//	GONOC_DIST_CHAOS="1:kill@5;2:hang@3;4:corrupt"
+//
+// Directives fire only on attempt 0 of their shard, so the retry or
+// steal of a perturbed shard runs clean — the tests prove recovery,
+// not perpetual failure.
+const ChaosEnv = "GONOC_DIST_CHAOS"
+
+// ParseChaos resolves the env spec for one shard attempt. An empty
+// spec, a non-matching shard or any attempt beyond the first yields
+// the zero Chaos. The spec format is validated strictly: tests must
+// not silently run without their faults.
+func ParseChaos(spec string, shard, attempt int) (Chaos, error) {
+	var c Chaos
+	if spec == "" || attempt != 0 {
+		return c, nil
+	}
+	for _, dir := range strings.Split(spec, ";") {
+		dir = strings.TrimSpace(dir)
+		if dir == "" {
+			continue
+		}
+		idx, fault, ok := strings.Cut(dir, ":")
+		if !ok {
+			return Chaos{}, fmt.Errorf("%w: chaos directive %q: want shard:fault", ErrBadField, dir)
+		}
+		s, err := strconv.Atoi(strings.TrimSpace(idx))
+		if err != nil || s < 0 {
+			return Chaos{}, fmt.Errorf("%w: chaos directive %q: bad shard", ErrBadField, dir)
+		}
+		kind, arg, hasArg := strings.Cut(strings.TrimSpace(fault), "@")
+		n := 0
+		if hasArg {
+			n, err = strconv.Atoi(arg)
+			if err != nil || n < 1 {
+				return Chaos{}, fmt.Errorf("%w: chaos directive %q: bad count", ErrBadField, dir)
+			}
+		}
+		switch kind {
+		case "kill":
+			if !hasArg {
+				return Chaos{}, fmt.Errorf("%w: chaos directive %q: kill needs @N", ErrBadField, dir)
+			}
+			if s == shard {
+				c.KillAfter = n
+			}
+		case "hang":
+			if !hasArg {
+				return Chaos{}, fmt.Errorf("%w: chaos directive %q: hang needs @N", ErrBadField, dir)
+			}
+			if s == shard {
+				c.HangAfter = n
+			}
+		case "corrupt":
+			if hasArg {
+				return Chaos{}, fmt.Errorf("%w: chaos directive %q: corrupt takes no @N", ErrBadField, dir)
+			}
+			if s == shard {
+				c.CorruptOutput = true
+			}
+		default:
+			return Chaos{}, fmt.Errorf("%w: chaos directive %q: unknown fault", ErrBadField, dir)
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,225 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gonoc/internal/core"
+	"gonoc/internal/exp"
+)
+
+// The chaos integration suite is the acceptance test of the whole
+// subsystem: real subprocess workers (the test binary re-execs itself
+// as a protocol worker), a real multi-hundred-point campaign, and real
+// faults — one worker SIGKILLed mid-shard, one hung past the heartbeat
+// deadline, one shard file torn after the fact. The merged stream must
+// still be byte-identical to an unsharded in-process run, with the
+// supervision (restarts, deadline kills, steals) visible in the event
+// log.
+
+// workerEnv re-execs the test binary as a dist worker when set; see
+// TestMain.
+const workerEnv = "GONOC_DIST_TEST_WORKER"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(workerEnv) == "1" {
+		os.Exit(workerMain())
+	}
+	os.Exit(m.Run())
+}
+
+// chaosCampaign is the integration campaign: 3 topologies × 9 rates ×
+// 8 replications = 216 points at reduced cycle counts.
+func chaosCampaign() exp.Campaign {
+	return exp.Campaign{
+		Name:       "dist-chaos",
+		Topologies: []core.TopologyKind{core.Ring, core.Spidergon, core.Mesh},
+		Nodes:      []int{16},
+		Traffics:   []exp.TrafficSpec{{Kind: core.UniformTraffic}},
+		FlitRates:  []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45},
+		Reps:       8,
+		Seed:       7,
+		Warmup:     30,
+		Measure:    150,
+	}
+}
+
+// campaignRunner adapts the exp.Runner to the lease protocol, the same
+// way cmd/nocsweep's worker mode does.
+func campaignRunner(c exp.Campaign, parallel int) ShardRunner {
+	return func(ctx context.Context, lease Lease, w io.Writer, progress func(done, total int)) error {
+		r := exp.Runner{Parallel: parallel, Shard: exp.Shard{Index: lease.Shard, Count: lease.Count}, Progress: progress}
+		_, err := r.Run(ctx, c, exp.NewJSONLWriter(w))
+		return err
+	}
+}
+
+// workerMain is the subprocess entry point: serve leases over
+// stdin/stdout with whatever chaos the coordinator's env injected.
+func workerMain() int {
+	err := ServeWorker(context.Background(), os.Stdin, os.Stdout,
+		campaignRunner(chaosCampaign(), 2),
+		WorkerOptions{ChaosSpec: os.Getenv(ChaosEnv)})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "test worker:", err)
+		return 1
+	}
+	return 0
+}
+
+// golden runs the campaign unsharded, in-process — the byte-exact
+// reference every distributed run must reproduce.
+func golden(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	r := exp.Runner{Parallel: 4}
+	if _, err := r.Run(context.Background(), chaosCampaign(), exp.NewJSONLWriter(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// logDir is where the coordinator event log lands: the DIST_LOG_DIR
+// env (CI uploads it as an artifact on failure) or a test temp dir.
+func logDir(t *testing.T) string {
+	if dir := os.Getenv("DIST_LOG_DIR"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	return t.TempDir()
+}
+
+func chaosCoordinator(t *testing.T, name, chaosSpec string, out io.Writer, tune func(*Options)) *Coordinator {
+	t.Helper()
+	dir := logDir(t)
+	// Append, not truncate: under -count=2 the second run must not
+	// destroy the first run's trail — the failing one is the evidence.
+	logfile := func(name string) *os.File {
+		f, err := os.OpenFile(filepath.Join(dir, name), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(f, "=== %s\n", t.Name())
+		return f
+	}
+	evF := logfile(name + "-events.log")
+	t.Cleanup(func() { evF.Close() })
+	errF := logfile(name + "-worker-stderr.log")
+	t.Cleanup(func() { errF.Close() })
+	t.Logf("coordinator logs in %s", dir)
+
+	env := append(os.Environ(), workerEnv+"=1")
+	if chaosSpec != "" {
+		env = append(env, ChaosEnv+"="+chaosSpec)
+	}
+	o := Options{
+		Workers:     4,
+		Shards:      12,
+		Heartbeat:   50 * time.Millisecond,
+		Deadline:    400 * time.Millisecond,
+		BackoffBase: 10 * time.Millisecond,
+		BackoffMax:  100 * time.Millisecond,
+		Launch:      &LocalLauncher{Argv: []string{os.Args[0]}, Env: env, Stderr: errF},
+		Out:         out,
+		Events:      evF,
+	}
+	if tune != nil {
+		tune(&o)
+	}
+	co, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return co
+}
+
+// The headline chaos run: 4 subprocess workers over 216 points, one
+// worker SIGKILLed mid-shard, one wedged past the heartbeat deadline,
+// one shard file torn after close. The merged stream must equal the
+// serial golden byte for byte, with the supervision trail in the log.
+func TestDistChaosKillHangCorrupt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos suite skipped in -short mode")
+	}
+	want := golden(t)
+	var out bytes.Buffer
+	co := chaosCoordinator(t, "kill-hang-corrupt", "2:kill@7;5:hang@4;8:corrupt", &out, func(o *Options) {
+		o.StealMinDone = 100 // isolate the restart paths; stealing has its own test
+	})
+	aggs, err := co.Run(context.Background())
+	if err != nil {
+		t.Fatalf("chaos run failed: %v\nevents:\n%s", err, eventDump(co))
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("merged stream differs from the unsharded golden (%d vs %d bytes)", out.Len(), len(want))
+	}
+	if len(aggs) != 27 { // 3 topologies × 9 rates
+		t.Fatalf("merged %d grid points, want 27", len(aggs))
+	}
+	if n := co.CountEvents(EventExit); n < 2 {
+		t.Fatalf("expected the killed and the hung worker to exit, saw %d exits:\n%s", n, eventDump(co))
+	}
+	if n := co.CountEvents(EventRestart); n < 1 {
+		t.Fatalf("no supervised restart after SIGKILL:\n%s", eventDump(co))
+	}
+	if n := co.CountEvents(EventMiss); n < 1 {
+		t.Fatalf("the hung worker never tripped the heartbeat deadline:\n%s", eventDump(co))
+	}
+	if n := co.CountEvents(EventBadOutput); n < 1 {
+		t.Fatalf("the torn shard file passed validation:\n%s", eventDump(co))
+	}
+}
+
+// A worker hangs with a generous deadline, so the only way the
+// campaign completes promptly is work-stealing: the straggler shard is
+// re-leased to an idle worker and the hung process is killed at
+// shutdown.
+func TestDistStealRecoversHungWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos suite skipped in -short mode")
+	}
+	want := golden(t)
+	var out bytes.Buffer
+	co := chaosCoordinator(t, "steal", "1:hang@3", &out, func(o *Options) {
+		o.Workers = 2
+		o.Shards = 6
+		o.Deadline = 60 * time.Second // the deadline must NOT be the rescuer
+		o.StealFactor = 2
+		o.StealMinDone = 2
+	})
+	done := make(chan struct{})
+	var aggs []exp.Aggregate
+	var err error
+	go func() {
+		aggs, err = co.Run(context.Background())
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(90 * time.Second):
+		t.Fatalf("steal never rescued the campaign:\n%s", eventDump(co))
+	}
+	if err != nil {
+		t.Fatalf("steal run failed: %v\nevents:\n%s", err, eventDump(co))
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatal("merged stream differs from the unsharded golden after a steal")
+	}
+	if len(aggs) != 27 {
+		t.Fatalf("merged %d grid points, want 27", len(aggs))
+	}
+	if n := co.CountEvents(EventSteal); n < 1 {
+		t.Fatalf("no steal event:\n%s", eventDump(co))
+	}
+	if n := co.CountEvents(EventMiss); n != 0 {
+		t.Fatalf("deadline fired despite being set to 60s:\n%s", eventDump(co))
+	}
+}

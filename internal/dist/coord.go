@@ -1,0 +1,784 @@
+package dist
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"gonoc/internal/exp"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Workers is the number of worker slots to supervise.
+	Workers int
+	// Shards is the campaign partition count. More shards than workers
+	// (4× is a good default) keeps the lease queue deep enough for
+	// work-stealing to matter.
+	Shards int
+	// Heartbeat is the interval workers are told to beat at (default
+	// 500ms); Deadline is how long a silent worker lives before the
+	// coordinator kills and restarts it (default 4×Heartbeat).
+	Heartbeat, Deadline time.Duration
+	// MaxWorkerRestarts caps supervised restarts per worker slot
+	// (default 3); a slot exceeding it is abandoned.
+	MaxWorkerRestarts int
+	// MaxShardAttempts caps leases per shard (default 4); a shard
+	// exceeding it degrades to the Inline fallback.
+	MaxShardAttempts int
+	// BackoffBase/BackoffMax bound the exponential restart backoff
+	// (defaults 100ms, 5s): restart i of a slot waits
+	// min(BackoffBase<<i, BackoffMax).
+	BackoffBase, BackoffMax time.Duration
+	// StealFactor triggers work-stealing: once StealMinDone shards
+	// have completed, a running shard whose lease is older than
+	// StealFactor × the median completed-shard duration is re-leased
+	// to an idle worker (defaults 3.0, 2). First byte-complete result
+	// wins; determinism makes the race benign.
+	StealFactor  float64
+	StealMinDone int
+	// Launch spawns workers (required).
+	Launch Launcher
+	// Inline, when set, is the graceful-degradation path: a shard
+	// whose attempts are exhausted (or with no workers left to run it)
+	// executes in the coordinator process instead of failing the
+	// campaign.
+	Inline ShardRunner
+	// Out receives the streaming merge: the byte-identical unsharded
+	// JSONL, emitted shard by shard as completions allow. May be nil.
+	Out io.Writer
+	// Events, when set, receives the textual event log.
+	Events io.Writer
+	// WorkDir holds the per-attempt shard files (default: a fresh temp
+	// directory, removed after a successful run).
+	WorkDir string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = 500 * time.Millisecond
+	}
+	if o.Deadline <= 0 {
+		o.Deadline = 4 * o.Heartbeat
+	}
+	if o.MaxWorkerRestarts <= 0 {
+		o.MaxWorkerRestarts = 3
+	}
+	if o.MaxShardAttempts <= 0 {
+		o.MaxShardAttempts = 4
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 100 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 5 * time.Second
+	}
+	if o.StealFactor <= 0 {
+		o.StealFactor = 3
+	}
+	if o.StealMinDone <= 0 {
+		o.StealMinDone = 2
+	}
+	return o
+}
+
+// EventKind classifies coordinator events.
+type EventKind string
+
+const (
+	EventSpawn     EventKind = "spawn"      // worker process started
+	EventLease     EventKind = "lease"      // shard leased to a worker
+	EventMiss      EventKind = "miss"       // heartbeat deadline exceeded; killing
+	EventExit      EventKind = "exit"       // worker process exited
+	EventRestart   EventKind = "restart"    // restart scheduled after backoff
+	EventGaveUp    EventKind = "gave-up"    // worker slot exhausted its restarts
+	EventSteal     EventKind = "steal"      // straggler shard re-leased to an idle worker
+	EventDone      EventKind = "done"       // shard attempt completed and validated
+	EventDuplicate EventKind = "duplicate"  // completion for an already-done shard (benign)
+	EventBadOutput EventKind = "bad-output" // shard file failed size/hash validation
+	EventWorkerErr EventKind = "worker-err" // worker reported a shard failure
+	EventInline    EventKind = "inline"     // degraded: shard run in-process
+	EventMerged    EventKind = "merged"     // shard appended to the merged stream
+)
+
+// Event is one entry of the coordinator's supervision log.
+type Event struct {
+	Kind    EventKind
+	Worker  int // -1 when not worker-scoped
+	Shard   int // -1 when not shard-scoped
+	Attempt int
+	Detail  string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%-10s worker=%d shard=%d attempt=%d %s", e.Kind, e.Worker, e.Shard, e.Attempt, e.Detail)
+}
+
+// Coordinator supervises a fleet of shard workers: it leases shards,
+// watches heartbeats, restarts crashed or hung workers with capped
+// exponential backoff, re-leases straggler shards to idle workers, and
+// streams the byte-identical merged output as shards complete.
+type Coordinator struct {
+	o Options
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// New validates the options and returns a Coordinator.
+func New(o Options) (*Coordinator, error) {
+	if o.Workers < 1 {
+		return nil, fmt.Errorf("dist: need at least one worker, got %d", o.Workers)
+	}
+	if o.Shards < 1 {
+		return nil, fmt.Errorf("dist: need at least one shard, got %d", o.Shards)
+	}
+	if o.Launch == nil {
+		return nil, fmt.Errorf("dist: no launcher")
+	}
+	return &Coordinator{o: o.withDefaults()}, nil
+}
+
+// Events returns a copy of the supervision log so far.
+func (c *Coordinator) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// CountEvents returns how many logged events have the given kind.
+func (c *Coordinator) CountEvents(kind EventKind) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Coordinator) event(kind EventKind, worker, shard, attempt int, format string, args ...any) {
+	e := Event{Kind: kind, Worker: worker, Shard: shard, Attempt: attempt, Detail: fmt.Sprintf(format, args...)}
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+	if c.o.Events != nil {
+		fmt.Fprintln(c.o.Events, e.String())
+	}
+}
+
+// procEvent is one occurrence on the supervision loop's single input
+// channel: a worker line, a worker exit, or a restart timer firing.
+type procEvent struct {
+	slot    int
+	line    []byte
+	exit    bool
+	exitErr error
+	respawn bool
+}
+
+const (
+	slotIdle = iota
+	slotBusy
+	slotWaiting // backoff timer pending
+	slotDead
+)
+
+type slotState struct {
+	proc     Proc
+	state    int
+	shard    int // leased shard when busy
+	attempt  int
+	lastMsg  time.Time
+	restarts int
+	killed   bool // deadline kill issued; waiting for the exit event
+}
+
+const (
+	shardPending = iota
+	shardRunning
+	shardDone
+)
+
+type shardState struct {
+	state    int
+	attempts int // leases issued
+	running  int // leases in flight
+	file     string
+	start    time.Time
+	duration time.Duration
+	merged   bool
+}
+
+// run carries the mutable state of one Coordinator.Run.
+type run struct {
+	c   *Coordinator
+	o   Options
+	ctx context.Context
+
+	ch      chan procEvent
+	pumps   int // live pump goroutines
+	slots   []slotState
+	shards  []shardState
+	pending []int // shard queue
+	durs    []time.Duration
+
+	merger    *exp.StreamMerger
+	nextMerge int
+	mergeErr  error
+	workdir   string
+	ownDir    bool
+}
+
+// Run executes the campaign: Shards leases across Workers supervised
+// processes, merged output streaming to Out. It returns the merged
+// aggregates. The error is non-nil when the campaign could not be
+// completed — individual worker failures are not errors, they are the
+// job.
+func (c *Coordinator) Run(ctx context.Context) ([]exp.Aggregate, error) {
+	r := &run{
+		c: c, o: c.o, ctx: ctx,
+		ch:     make(chan procEvent, 256),
+		slots:  make([]slotState, c.o.Workers),
+		shards: make([]shardState, c.o.Shards),
+		merger: exp.NewStreamMerger(c.o.Out),
+	}
+	r.workdir = c.o.WorkDir
+	if r.workdir == "" {
+		dir, err := os.MkdirTemp("", "gonoc-dist-*")
+		if err != nil {
+			return nil, fmt.Errorf("dist: workdir: %w", err)
+		}
+		r.workdir, r.ownDir = dir, true
+	}
+	for i := range r.shards {
+		r.shards[i].state = shardPending
+		r.pending = append(r.pending, i)
+	}
+	for i := range r.slots {
+		r.slots[i].shard = -1
+		r.spawn(i)
+	}
+	err := r.loop()
+	r.shutdown(err == nil)
+	if err != nil {
+		return nil, err
+	}
+	aggs, err := r.merger.Finish()
+	if err != nil {
+		return nil, err
+	}
+	if r.ownDir {
+		os.RemoveAll(r.workdir)
+	}
+	return aggs, nil
+}
+
+// spawn starts (or restarts) worker slot i and hooks its output into
+// the event channel.
+func (r *run) spawn(i int) {
+	s := &r.slots[i]
+	proc, err := r.o.Launch.Start(r.ctx, i)
+	if err != nil {
+		r.c.event(EventExit, i, -1, 0, "spawn failed: %v", err)
+		r.slotDown(i)
+		return
+	}
+	s.proc = proc
+	s.state = slotIdle
+	s.lastMsg = time.Now()
+	s.killed = false
+	r.c.event(EventSpawn, i, -1, 0, "restarts=%d", s.restarts)
+	// Config precedes everything; the worker reads sequentially so
+	// sending before its hello is fine.
+	if err := proc.Send(Msg{Type: MsgConfig, HeartbeatMS: r.o.Heartbeat.Milliseconds()}); err != nil {
+		// The exit pump will report the death; nothing else to do.
+		r.c.event(EventExit, i, -1, 0, "config send failed: %v", err)
+	}
+	r.pumps++
+	go func(p Proc, slot int) {
+		for line := range p.Lines() {
+			select {
+			case r.ch <- procEvent{slot: slot, line: line}:
+			case <-r.ctx.Done():
+				// Drain remaining lines so the proc's writer can't
+				// block, then fall through to the exit report.
+				continue
+			}
+		}
+		err := <-p.Done()
+		select {
+		case r.ch <- procEvent{slot: slot, exit: true, exitErr: err}:
+		case <-r.ctx.Done():
+			// loop() already returned; shutdown() drains via pumpExit.
+			r.ch <- procEvent{slot: slot, exit: true, exitErr: err}
+		}
+	}(proc, i)
+}
+
+// loop is the supervision main loop; it returns nil once every shard
+// is merged.
+func (r *run) loop() error {
+	tick := r.o.Heartbeat / 2
+	if tick <= 0 {
+		tick = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		if r.mergeErr != nil {
+			return r.mergeErr
+		}
+		r.assign()
+		if r.merged() {
+			return nil
+		}
+		if err := r.maybeDegrade(); err != nil {
+			return err
+		}
+		if r.mergeErr != nil {
+			return r.mergeErr
+		}
+		if r.merged() {
+			return nil
+		}
+		select {
+		case <-r.ctx.Done():
+			return r.ctx.Err()
+		case ev := <-r.ch:
+			r.handle(ev)
+		case <-ticker.C:
+			r.checkDeadlines()
+			r.steal()
+		}
+	}
+}
+
+func (r *run) merged() bool { return r.nextMerge == len(r.shards) }
+
+// handle dispatches one channel event.
+func (r *run) handle(ev procEvent) {
+	if ev.respawn {
+		if r.slots[ev.slot].state == slotWaiting {
+			r.spawn(ev.slot)
+		}
+		return
+	}
+	if ev.exit {
+		r.handleExit(ev.slot, ev.exitErr)
+		return
+	}
+	m, err := Decode(ev.line)
+	if err != nil {
+		return // stdout noise (e.g. test-binary chatter); not protocol
+	}
+	s := &r.slots[ev.slot]
+	s.lastMsg = time.Now()
+	switch m.Type {
+	case MsgHello, MsgHeartbeat, MsgProgress:
+		// Liveness is the timestamp update above; progress feeds the
+		// event log implicitly via steal decisions.
+	case MsgDone:
+		r.handleDone(ev.slot, m)
+	case MsgError:
+		r.c.event(EventWorkerErr, ev.slot, m.Shard, m.Attempt, "%s", m.Err)
+		if s.state == slotBusy && s.shard == m.Shard {
+			r.releaseLease(ev.slot)
+			r.requeue(m.Shard)
+		}
+	}
+}
+
+// releaseLease returns slot i to idle, decrementing its shard's
+// in-flight count.
+func (r *run) releaseLease(i int) {
+	s := &r.slots[i]
+	if s.state == slotBusy && s.shard >= 0 {
+		r.shards[s.shard].running--
+	}
+	s.state = slotIdle
+	s.shard = -1
+}
+
+// requeue puts an unfinished shard back on the lease queue.
+func (r *run) requeue(shard int) {
+	sh := &r.shards[shard]
+	if sh.state == shardDone {
+		return
+	}
+	sh.state = shardPending
+	for _, p := range r.pending {
+		if p == shard {
+			return
+		}
+	}
+	r.pending = append([]int{shard}, r.pending...)
+}
+
+// handleExit supervises a worker death: requeue its shard, then
+// restart the slot with capped exponential backoff or abandon it.
+func (r *run) handleExit(i int, exitErr error) {
+	s := &r.slots[i]
+	r.pumps--
+	if s.state == slotDead {
+		return
+	}
+	shard := s.shard
+	r.c.event(EventExit, i, shard, s.attempt, "err=%v", exitErr)
+	if s.state == slotBusy && shard >= 0 {
+		r.releaseLease(i)
+		r.requeue(shard)
+	}
+	s.proc = nil
+	if r.merged() {
+		s.state = slotDead
+		return
+	}
+	s.restarts++
+	if s.restarts > r.o.MaxWorkerRestarts {
+		r.c.event(EventGaveUp, i, -1, 0, "after %d restarts", s.restarts-1)
+		r.slotDown(i)
+		return
+	}
+	backoff := r.o.BackoffBase << (s.restarts - 1)
+	if backoff > r.o.BackoffMax {
+		backoff = r.o.BackoffMax
+	}
+	s.state = slotWaiting
+	r.c.event(EventRestart, i, -1, 0, "in %s", backoff)
+	slot := i
+	time.AfterFunc(backoff, func() {
+		select {
+		case r.ch <- procEvent{slot: slot, respawn: true}:
+		case <-r.ctx.Done():
+		}
+	})
+}
+
+func (r *run) slotDown(i int) {
+	r.slots[i].state = slotDead
+	r.slots[i].proc = nil
+}
+
+// handleDone validates a completed shard file and, if it wins, marks
+// the shard done.
+func (r *run) handleDone(slot int, m Msg) {
+	if m.Shard >= len(r.shards) || m.Out == "" {
+		return
+	}
+	s := &r.slots[slot]
+	if s.state == slotBusy && s.shard == m.Shard {
+		r.releaseLease(slot)
+	}
+	sh := &r.shards[m.Shard]
+	if sh.state == shardDone {
+		r.c.event(EventDuplicate, slot, m.Shard, m.Attempt, "loser of a benign steal race")
+		os.Remove(m.Out)
+		return
+	}
+	if err := validateFile(m.Out, m.Bytes, m.SHA256); err != nil {
+		r.c.event(EventBadOutput, slot, m.Shard, m.Attempt, "%v", err)
+		os.Remove(m.Out)
+		r.requeue(m.Shard)
+		return
+	}
+	sh.state = shardDone
+	sh.file = m.Out
+	sh.duration = time.Since(sh.start)
+	r.durs = append(r.durs, sh.duration)
+	r.c.event(EventDone, slot, m.Shard, m.Attempt, "%d bytes, %d lines, %s", m.Bytes, m.Lines, sh.duration.Round(time.Millisecond))
+	r.advanceMerge()
+}
+
+// validateFile re-hashes the shard file and compares it against what
+// the worker claims to have written: a truncated or corrupted file —
+// the CorruptOutput chaos, or a real torn write — fails here and the
+// shard is retried.
+func validateFile(path string, wantBytes int64, wantSHA string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("open: %w", err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return fmt.Errorf("read: %w", err)
+	}
+	if n != wantBytes {
+		return fmt.Errorf("size %d, worker wrote %d", n, wantBytes)
+	}
+	if got := hex.EncodeToString(h.Sum(nil)); got != wantSHA {
+		return fmt.Errorf("content hash mismatch")
+	}
+	return nil
+}
+
+// advanceMerge streams every ready prefix shard into the merged
+// output. A merge failure is fatal — by the time Add fails, part of
+// the shard's records may already be on the output stream, so a retry
+// could only duplicate them.
+func (r *run) advanceMerge() {
+	for r.mergeErr == nil && r.nextMerge < len(r.shards) && r.shards[r.nextMerge].state == shardDone {
+		sh := &r.shards[r.nextMerge]
+		if err := r.mergeShard(r.nextMerge, sh.file); err != nil {
+			r.mergeErr = fmt.Errorf("dist: merging shard %d: %w", r.nextMerge, err)
+			return
+		}
+		sh.merged = true
+		r.c.event(EventMerged, -1, r.nextMerge, 0, "stream advanced to shard %d", r.nextMerge)
+		r.nextMerge++
+	}
+}
+
+func (r *run) mergeShard(shard int, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return r.merger.Add(f)
+}
+
+// assign leases pending shards to idle workers. Shards past their
+// attempt cap stay queued for maybeDegrade's inline fallback instead
+// of burning another lease.
+func (r *run) assign() {
+	var kept []int
+	for i, shard := range r.pending {
+		if r.shards[shard].state == shardDone {
+			continue // won by a still-in-flight duplicate attempt
+		}
+		if r.shards[shard].attempts >= r.o.MaxShardAttempts {
+			kept = append(kept, shard)
+			continue
+		}
+		slot := r.idleSlot()
+		if slot < 0 {
+			kept = append(kept, r.pending[i:]...)
+			break
+		}
+		r.lease(slot, shard, EventLease)
+	}
+	r.pending = kept
+}
+
+func (r *run) idleSlot() int {
+	for i := range r.slots {
+		if r.slots[i].state == slotIdle && r.slots[i].proc != nil {
+			return i
+		}
+	}
+	return -1
+}
+
+// lease sends one shard attempt to a worker.
+func (r *run) lease(slot, shard int, kind EventKind) {
+	s := &r.slots[slot]
+	sh := &r.shards[shard]
+	attempt := sh.attempts
+	sh.attempts++
+	sh.running++
+	if sh.state == shardPending {
+		sh.state = shardRunning
+	}
+	if attempt == 0 {
+		sh.start = time.Now()
+	}
+	out := filepath.Join(r.workdir, fmt.Sprintf("shard-%04d-a%d.jsonl", shard, attempt))
+	s.state = slotBusy
+	s.shard = shard
+	s.attempt = attempt
+	r.c.event(kind, slot, shard, attempt, "out=%s", filepath.Base(out))
+	if err := s.proc.Send(Msg{Type: MsgLease, Shard: shard, Count: len(r.shards), Attempt: attempt, Out: out}); err != nil {
+		// Dead pipe: the exit event will requeue the shard.
+		r.c.event(EventExit, slot, shard, attempt, "lease send failed: %v", err)
+	}
+}
+
+// checkDeadlines kills workers whose last message is older than the
+// liveness deadline — the hang path: a wedged worker stops
+// heartbeating, and only this notices.
+func (r *run) checkDeadlines() {
+	now := time.Now()
+	for i := range r.slots {
+		s := &r.slots[i]
+		if s.proc == nil || s.killed || (s.state != slotBusy && s.state != slotIdle) {
+			continue
+		}
+		if now.Sub(s.lastMsg) > r.o.Deadline {
+			r.c.event(EventMiss, i, s.shard, s.attempt, "silent for %s (deadline %s)", now.Sub(s.lastMsg).Round(time.Millisecond), r.o.Deadline)
+			s.killed = true
+			s.proc.Kill() // the exit event drives the restart path
+		}
+	}
+}
+
+// steal re-leases a straggler shard to an idle worker: once enough
+// shards have completed to estimate a typical duration, any lease
+// older than StealFactor × the median is raced by a fresh attempt.
+// Whichever attempt reaches byte-complete first wins; determinism
+// guarantees both produce identical bytes, so the race is benign.
+func (r *run) steal() {
+	if len(r.pending) > 0 || len(r.durs) < r.o.StealMinDone {
+		return
+	}
+	slot := r.idleSlot()
+	if slot < 0 {
+		return
+	}
+	med := median(r.durs)
+	threshold := time.Duration(float64(med) * r.o.StealFactor)
+	if threshold <= 0 {
+		threshold = r.o.Deadline
+	}
+	victim, worst := -1, time.Duration(0)
+	now := time.Now()
+	for i := range r.shards {
+		sh := &r.shards[i]
+		if sh.state != shardRunning || sh.running != 1 || sh.attempts >= r.o.MaxShardAttempts {
+			continue
+		}
+		if age := now.Sub(sh.start); age > threshold && age > worst {
+			victim, worst = i, age
+		}
+	}
+	if victim < 0 {
+		return
+	}
+	r.lease(slot, victim, EventSteal)
+}
+
+func median(ds []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	return s[len(s)/2]
+}
+
+// maybeDegrade runs shards in-process when supervision has run out of
+// options: a shard past its attempt cap, or remaining work with no
+// startable worker left. With no Inline fallback configured this is a
+// campaign failure.
+func (r *run) maybeDegrade() error {
+	workersLeft := false
+	for i := range r.slots {
+		if r.slots[i].state != slotDead {
+			workersLeft = true
+			break
+		}
+	}
+	for i := range r.shards {
+		sh := &r.shards[i]
+		if sh.state == shardDone {
+			continue
+		}
+		exhausted := sh.attempts >= r.o.MaxShardAttempts && sh.running == 0
+		if !exhausted && workersLeft {
+			continue
+		}
+		if sh.running > 0 && workersLeft {
+			continue // an attempt is still in flight; let it finish
+		}
+		if r.o.Inline == nil {
+			return fmt.Errorf("dist: shard %d/%d unrunnable after %d attempts and no inline fallback", i, len(r.shards), sh.attempts)
+		}
+		if err := r.runInline(i); err != nil {
+			return err
+		}
+	}
+	r.advanceMerge()
+	return nil
+}
+
+// runInline executes one orphaned shard in the coordinator process —
+// the graceful floor under all the supervision: the campaign still
+// completes, just without the parallelism.
+func (r *run) runInline(shard int) error {
+	sh := &r.shards[shard]
+	attempt := sh.attempts
+	sh.attempts++
+	out := filepath.Join(r.workdir, fmt.Sprintf("shard-%04d-inline.jsonl", shard))
+	r.c.event(EventInline, -1, shard, attempt, "degraded to in-process run")
+	f, err := os.Create(out)
+	if err != nil {
+		return fmt.Errorf("dist: inline shard %d: %w", shard, err)
+	}
+	lease := Lease{Shard: shard, Count: len(r.shards), Attempt: attempt, Out: out}
+	if err := r.o.Inline(r.ctx, lease, f, func(done, total int) {}); err != nil {
+		f.Close()
+		return fmt.Errorf("dist: inline shard %d: %w", shard, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("dist: inline shard %d: %w", shard, err)
+	}
+	if sh.state == shardPending {
+		// Drop it from the queue so assign() never double-leases it.
+		for j, p := range r.pending {
+			if p == shard {
+				r.pending = append(r.pending[:j], r.pending[j+1:]...)
+				break
+			}
+		}
+	}
+	sh.state = shardDone
+	sh.file = out
+	sh.duration = time.Since(sh.start)
+	// An inline run after the coordinator blocked for a while must not
+	// make healthy workers look silent: refresh their deadlines.
+	now := time.Now()
+	for i := range r.slots {
+		if r.slots[i].proc != nil {
+			r.slots[i].lastMsg = now
+		}
+	}
+	return nil
+}
+
+// shutdown ends every worker and waits for all pump goroutines so Run
+// leaks nothing. Idle workers get the polite EOF (clean exit 0); busy
+// ones are killed outright — by the time shutdown runs the loop has
+// returned, so any still-running attempt is redundant (a steal loser or
+// a cancelled campaign), and a wedged worker would never drain its
+// stdin anyway — a blocking farewell Send could hang the coordinator.
+func (r *run) shutdown(polite bool) {
+	for i := range r.slots {
+		s := &r.slots[i]
+		if s.proc == nil {
+			continue
+		}
+		if polite && s.state == slotIdle {
+			_ = s.proc.CloseSend()
+		} else {
+			_ = s.proc.Kill()
+		}
+	}
+	deadline := time.After(2 * time.Second)
+	for r.pumps > 0 {
+		select {
+		case ev := <-r.ch:
+			if ev.exit {
+				r.pumps--
+				if s := &r.slots[ev.slot]; s.state != slotDead {
+					s.state = slotDead
+					s.proc = nil
+				}
+			}
+		case <-deadline:
+			for i := range r.slots {
+				if r.slots[i].proc != nil {
+					_ = r.slots[i].proc.Kill()
+				}
+			}
+			deadline = time.After(2 * time.Second)
+		}
+	}
+}

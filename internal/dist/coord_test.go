@@ -1,0 +1,500 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gonoc/internal/exp"
+)
+
+// The coordinator unit tests drive the real supervision loop against
+// in-process fake workers: each fakeProc runs an actual ServeWorker
+// over pipes, so the protocol, the heartbeat machinery and the
+// supervision paths are all genuine — only the process boundary is
+// simulated, which lets a test "crash" or "silence" a worker
+// deterministically without SIGKILLing the test binary (the subprocess
+// chaos suite in chaos_test.go covers the real thing).
+
+var errFakeKill = errors.New("fake worker killed")
+
+// fakeCtl is handed to each fake worker's shard runner so tests can
+// trigger process-level faults from inside a lease.
+type fakeCtl struct {
+	// die emulates an abrupt process death: the worker's pipes close
+	// mid-lease and no further message escapes.
+	die func()
+	// mute emulates a livelocked process: the worker keeps running but
+	// nothing it writes (heartbeats included) reaches the coordinator.
+	mute func()
+}
+
+type fakeProc struct {
+	cancel context.CancelFunc
+	inR    *io.PipeReader
+	inW    *io.PipeWriter
+	outW   *io.PipeWriter
+
+	sendMu sync.Mutex
+	muteMu sync.Mutex
+	muted  bool
+
+	lines chan []byte
+	done  chan error
+}
+
+func (p *fakeProc) Send(m Msg) error {
+	b, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	_, err = p.inW.Write(b)
+	return err
+}
+
+func (p *fakeProc) Lines() <-chan []byte { return p.lines }
+
+func (p *fakeProc) CloseSend() error {
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	return p.inW.Close()
+}
+
+func (p *fakeProc) Kill() error {
+	p.cancel()
+	p.inR.CloseWithError(errFakeKill)
+	p.outW.CloseWithError(errFakeKill)
+	return nil
+}
+
+func (p *fakeProc) Done() <-chan error { return p.done }
+
+// fakeLauncher starts ServeWorker-backed fake processes. run builds the
+// shard runner for each spawned worker; chaos is passed through as the
+// worker's chaos spec (only corrupt directives are safe in-process).
+type fakeLauncher struct {
+	run   func(worker int, ctl fakeCtl) ShardRunner
+	chaos string
+}
+
+func (l *fakeLauncher) Start(ctx context.Context, worker int) (Proc, error) {
+	wctx, cancel := context.WithCancel(ctx)
+	inR, inW := io.Pipe()
+	outR, outW := io.Pipe()
+	p := &fakeProc{cancel: cancel, inR: inR, inW: inW, outW: outW,
+		lines: make(chan []byte, 256), done: make(chan error, 1)}
+	ctl := fakeCtl{
+		die: func() {
+			cancel()
+			outW.CloseWithError(errFakeKill)
+			inR.CloseWithError(errFakeKill)
+		},
+		mute: func() {
+			p.muteMu.Lock()
+			p.muted = true
+			p.muteMu.Unlock()
+		},
+	}
+	exit := make(chan error, 1)
+	go func() {
+		err := ServeWorker(wctx, inR, outW, l.run(worker, ctl), WorkerOptions{ChaosSpec: l.chaos})
+		outW.Close()
+		inR.Close()
+		exit <- err
+	}()
+	go func() {
+		sc := bufio.NewScanner(outR)
+		for sc.Scan() {
+			p.muteMu.Lock()
+			muted := p.muted
+			p.muteMu.Unlock()
+			if muted {
+				continue // the bytes vanish, as if the process were wedged
+			}
+			p.lines <- append([]byte(nil), sc.Bytes()...)
+		}
+		close(p.lines)
+		p.done <- <-exit
+		close(p.done)
+	}()
+	return p, nil
+}
+
+// The fake campaign: fakePoints synthetic run records in exp's JSONL
+// wire form, tiled over lease.Count shards exactly the way a real
+// sharded campaign tiles its global point indexes.
+const fakePoints = 60
+
+func fakeRecord(i int) string {
+	return fmt.Sprintf(`{"kind":"run","index":%d,"campaign":"fake","topo":"ring","nodes":4,"traffic":"uniform","flit_rate":0.1,"rep":%d,"seed":%d,"throughput":0.5,"accepted":0.1,"latency":5,"p95_latency":9,"hops":2,"injected":100,"ejected":100,"energy_per_packet":1}`, i, i, 1000+i)
+}
+
+func writeFakeShard(lease Lease, w io.Writer, progress func(done, total int)) error {
+	lo := lease.Shard * fakePoints / lease.Count
+	hi := (lease.Shard + 1) * fakePoints / lease.Count
+	for g := lo; g < hi; g++ {
+		if _, err := fmt.Fprintln(w, fakeRecord(g)); err != nil {
+			return err
+		}
+		progress(g-lo+1, hi-lo)
+	}
+	return nil
+}
+
+func cleanRunner(worker int, ctl fakeCtl) ShardRunner {
+	return func(ctx context.Context, lease Lease, w io.Writer, progress func(done, total int)) error {
+		return writeFakeShard(lease, w, progress)
+	}
+}
+
+// goldenMerged is what any successful coordinator run must emit: the
+// full record stream plus recomputed summaries, built without the
+// coordinator.
+func goldenMerged(t *testing.T) []byte {
+	t.Helper()
+	var full bytes.Buffer
+	for i := 0; i < fakePoints; i++ {
+		full.WriteString(fakeRecord(i) + "\n")
+	}
+	var want bytes.Buffer
+	if _, err := exp.MergeRuns([]io.Reader{bytes.NewReader(full.Bytes())}, &want); err != nil {
+		t.Fatal(err)
+	}
+	return want.Bytes()
+}
+
+func testOptions(t *testing.T, launch Launcher, out io.Writer) Options {
+	t.Helper()
+	return Options{
+		Workers:     3,
+		Shards:      6,
+		Heartbeat:   25 * time.Millisecond,
+		Deadline:    2 * time.Second, // no spurious kills on a loaded CI box
+		BackoffBase: 2 * time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+		Launch:      launch,
+		Out:         out,
+		WorkDir:     t.TempDir(),
+	}
+}
+
+func mustRun(t *testing.T, o Options) (*Coordinator, []exp.Aggregate) {
+	t.Helper()
+	co, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggs, err := co.Run(context.Background())
+	if err != nil {
+		t.Fatalf("coordinator run failed: %v\nevents:\n%s", err, eventDump(co))
+	}
+	return co, aggs
+}
+
+func eventDump(co *Coordinator) string {
+	var b strings.Builder
+	for _, e := range co.Events() {
+		b.WriteString(e.String() + "\n")
+	}
+	return b.String()
+}
+
+// A fault-free fleet merges the byte-exact golden stream, one done and
+// one merge event per shard, no supervision interventions.
+func TestCoordinatorCleanRunMatchesGolden(t *testing.T) {
+	var out bytes.Buffer
+	co, aggs := mustRun(t, testOptions(t, &fakeLauncher{run: cleanRunner}, &out))
+	if !bytes.Equal(out.Bytes(), goldenMerged(t)) {
+		t.Fatal("merged stream differs from golden")
+	}
+	if len(aggs) != 1 || aggs[0].Reps != fakePoints {
+		t.Fatalf("aggregates = %+v", aggs)
+	}
+	if n := co.CountEvents(EventDone); n != 6 {
+		t.Fatalf("%d done events for 6 shards", n)
+	}
+	if n := co.CountEvents(EventMerged); n != 6 {
+		t.Fatalf("%d merged events for 6 shards", n)
+	}
+	for _, k := range []EventKind{EventRestart, EventMiss, EventBadOutput, EventInline, EventGaveUp} {
+		if n := co.CountEvents(k); n != 0 {
+			t.Fatalf("clean run logged %d %s events:\n%s", n, k, eventDump(co))
+		}
+	}
+}
+
+// A worker that dies mid-shard (pipes cut, no done message) is
+// restarted with backoff and its shard is re-leased; the merged output
+// is still byte-exact.
+func TestCoordinatorRestartsCrashedWorker(t *testing.T) {
+	var crashed atomic.Int32
+	launch := &fakeLauncher{run: func(worker int, ctl fakeCtl) ShardRunner {
+		return func(ctx context.Context, lease Lease, w io.Writer, progress func(done, total int)) error {
+			if lease.Shard == 2 && lease.Attempt == 0 && crashed.CompareAndSwap(0, 1) {
+				fmt.Fprintln(w, fakeRecord(0)) // torn partial output
+				ctl.die()
+				<-ctx.Done()
+				return ctx.Err()
+			}
+			return writeFakeShard(lease, w, progress)
+		}
+	}}
+	var out bytes.Buffer
+	co, _ := mustRun(t, testOptions(t, launch, &out))
+	if !bytes.Equal(out.Bytes(), goldenMerged(t)) {
+		t.Fatal("merged stream differs from golden after a crash")
+	}
+	if co.CountEvents(EventExit) < 1 || co.CountEvents(EventRestart) < 1 {
+		t.Fatalf("crash left no exit/restart trail:\n%s", eventDump(co))
+	}
+}
+
+// A worker that goes silent (alive but nothing reaches the
+// coordinator) trips the heartbeat deadline, is killed and replaced.
+func TestCoordinatorKillsSilentWorker(t *testing.T) {
+	var wedged atomic.Int32
+	launch := &fakeLauncher{run: func(worker int, ctl fakeCtl) ShardRunner {
+		return func(ctx context.Context, lease Lease, w io.Writer, progress func(done, total int)) error {
+			if lease.Shard == 1 && lease.Attempt == 0 && wedged.CompareAndSwap(0, 1) {
+				ctl.mute()
+				<-ctx.Done() // wedged until the deadline kill
+				return ctx.Err()
+			}
+			return writeFakeShard(lease, w, progress)
+		}
+	}}
+	var out bytes.Buffer
+	o := testOptions(t, launch, &out)
+	o.Deadline = 150 * time.Millisecond
+	o.StealMinDone = 100 // no stealing: the deadline must do the work
+	co, _ := mustRun(t, o)
+	if !bytes.Equal(out.Bytes(), goldenMerged(t)) {
+		t.Fatal("merged stream differs from golden after a hang")
+	}
+	if co.CountEvents(EventMiss) < 1 {
+		t.Fatalf("no deadline miss logged:\n%s", eventDump(co))
+	}
+	if co.CountEvents(EventRestart) < 1 {
+		t.Fatalf("silent worker was not replaced:\n%s", eventDump(co))
+	}
+}
+
+// A shard file that fails size/hash validation (the corrupt chaos) is
+// discarded and the shard retried; the retry runs clean by design.
+func TestCoordinatorRetriesCorruptedOutput(t *testing.T) {
+	var out bytes.Buffer
+	launch := &fakeLauncher{run: cleanRunner, chaos: "3:corrupt"}
+	co, _ := mustRun(t, testOptions(t, launch, &out))
+	if !bytes.Equal(out.Bytes(), goldenMerged(t)) {
+		t.Fatal("merged stream differs from golden after output corruption")
+	}
+	if co.CountEvents(EventBadOutput) != 1 {
+		t.Fatalf("bad-output events:\n%s", eventDump(co))
+	}
+}
+
+// A shard failure reported by a healthy worker (error message, worker
+// survives) requeues the shard without restarting anything.
+func TestCoordinatorRequeuesFailedShard(t *testing.T) {
+	launch := &fakeLauncher{run: func(worker int, ctl fakeCtl) ShardRunner {
+		return func(ctx context.Context, lease Lease, w io.Writer, progress func(done, total int)) error {
+			if lease.Shard == 4 && lease.Attempt == 0 {
+				return errors.New("transient shard failure")
+			}
+			return writeFakeShard(lease, w, progress)
+		}
+	}}
+	var out bytes.Buffer
+	co, _ := mustRun(t, testOptions(t, launch, &out))
+	if !bytes.Equal(out.Bytes(), goldenMerged(t)) {
+		t.Fatal("merged stream differs from golden after a shard error")
+	}
+	if co.CountEvents(EventWorkerErr) != 1 || co.CountEvents(EventRestart) != 0 {
+		t.Fatalf("events after shard error:\n%s", eventDump(co))
+	}
+}
+
+// A shard that fails every lease degrades to the inline fallback and
+// the campaign still completes byte-exact.
+func TestCoordinatorDegradesToInline(t *testing.T) {
+	launch := &fakeLauncher{run: func(worker int, ctl fakeCtl) ShardRunner {
+		return func(ctx context.Context, lease Lease, w io.Writer, progress func(done, total int)) error {
+			if lease.Shard == 5 {
+				return errors.New("this shard never works in a worker")
+			}
+			return writeFakeShard(lease, w, progress)
+		}
+	}}
+	var out bytes.Buffer
+	o := testOptions(t, launch, &out)
+	o.MaxShardAttempts = 2
+	o.Inline = func(ctx context.Context, lease Lease, w io.Writer, progress func(done, total int)) error {
+		return writeFakeShard(lease, w, progress)
+	}
+	co, _ := mustRun(t, o)
+	if !bytes.Equal(out.Bytes(), goldenMerged(t)) {
+		t.Fatal("merged stream differs from golden after inline degradation")
+	}
+	if co.CountEvents(EventInline) != 1 {
+		t.Fatalf("inline events:\n%s", eventDump(co))
+	}
+	if co.CountEvents(EventWorkerErr) != 2 {
+		t.Fatalf("worker-err events (attempt cap 2):\n%s", eventDump(co))
+	}
+}
+
+// Without an inline fallback, an exhausted shard is a campaign error —
+// never a silently short output file.
+func TestCoordinatorExhaustedShardFailsWithoutInline(t *testing.T) {
+	launch := &fakeLauncher{run: func(worker int, ctl fakeCtl) ShardRunner {
+		return func(ctx context.Context, lease Lease, w io.Writer, progress func(done, total int)) error {
+			return errors.New("nothing ever works")
+		}
+	}}
+	o := testOptions(t, launch, io.Discard)
+	o.MaxShardAttempts = 2
+	co, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = co.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "no inline fallback") {
+		t.Fatalf("run error = %v", err)
+	}
+}
+
+// A straggler lease is re-leased to an idle worker once completed-shard
+// durations expose it; the fresh attempt wins and the stream completes
+// without waiting out the straggler.
+func TestCoordinatorStealsStragglerShard(t *testing.T) {
+	launch := &fakeLauncher{run: func(worker int, ctl fakeCtl) ShardRunner {
+		return func(ctx context.Context, lease Lease, w io.Writer, progress func(done, total int)) error {
+			if lease.Shard == 3 && lease.Attempt == 0 {
+				select { // straggles, but would eventually finish
+				case <-time.After(300 * time.Millisecond):
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+			return writeFakeShard(lease, w, progress)
+		}
+	}}
+	var out bytes.Buffer
+	o := testOptions(t, launch, &out)
+	o.Workers = 2
+	o.Shards = 4
+	o.StealFactor = 0.5
+	o.StealMinDone = 2
+	start := time.Now()
+	co, _ := mustRun(t, o)
+	if !bytes.Equal(out.Bytes(), goldenMerged(t)) {
+		t.Fatal("merged stream differs from golden after a steal")
+	}
+	if co.CountEvents(EventSteal) < 1 {
+		t.Fatalf("no steal in %s:\n%s", time.Since(start), eventDump(co))
+	}
+}
+
+// A completion for an already-done shard (the loser of a steal race) is
+// logged as benign and its file is removed, not merged twice.
+func TestCoordinatorDuplicateCompletionIsBenign(t *testing.T) {
+	dir := t.TempDir()
+	c := &Coordinator{o: Options{Workers: 2, Shards: 1}.withDefaults()}
+	r := &run{
+		c: c, o: c.o,
+		slots:   make([]slotState, 2),
+		shards:  make([]shardState, 1),
+		merger:  exp.NewStreamMerger(nil),
+		workdir: dir,
+	}
+	r.slots[0] = slotState{state: slotBusy, shard: 0}
+	r.slots[1] = slotState{state: slotBusy, shard: 0}
+	r.shards[0] = shardState{state: shardRunning, running: 2, start: time.Now()}
+
+	write := func(name string) (string, int64, string) {
+		path := filepath.Join(dir, name)
+		data := []byte(fakeRecord(0) + "\n")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(data)
+		return path, int64(len(data)), hex.EncodeToString(sum[:])
+	}
+	winner, n, h := write("shard-0000-a0.jsonl")
+	r.handleDone(0, Msg{Type: MsgDone, Shard: 0, Attempt: 0, Out: winner, Bytes: n, SHA256: h, Lines: 1})
+	if r.shards[0].state != shardDone {
+		t.Fatal("winner did not complete the shard")
+	}
+	loser, n, h := write("shard-0000-a1.jsonl")
+	r.handleDone(1, Msg{Type: MsgDone, Shard: 0, Attempt: 1, Out: loser, Bytes: n, SHA256: h, Lines: 1})
+	if c.CountEvents(EventDuplicate) != 1 {
+		t.Fatalf("duplicate events: %d", c.CountEvents(EventDuplicate))
+	}
+	if _, err := os.Stat(loser); !os.IsNotExist(err) {
+		t.Fatal("loser's file was not removed")
+	}
+	if r.nextMerge != 1 {
+		t.Fatalf("merge advanced to %d", r.nextMerge)
+	}
+}
+
+// Run leaks nothing: after a clean campaign and after a context
+// cancellation mid-sweep, the goroutine count returns to baseline.
+func TestCoordinatorShutdownLeaksNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	var out bytes.Buffer
+	mustRun(t, testOptions(t, &fakeLauncher{run: cleanRunner}, &out))
+	waitForGoroutines(t, base, "clean run")
+
+	// Cancel mid-sweep: every lease parks until its context dies.
+	launch := &fakeLauncher{run: func(worker int, ctl fakeCtl) ShardRunner {
+		return func(ctx context.Context, lease Lease, w io.Writer, progress func(done, total int)) error {
+			fmt.Fprintln(w, fakeRecord(0)) // some bytes in flight
+			<-ctx.Done()
+			return ctx.Err()
+		}
+	}}
+	co, err := New(testOptions(t, launch, io.Discard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := co.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v", err)
+	}
+	waitForGoroutines(t, base, "cancelled run")
+}
+
+func waitForGoroutines(t *testing.T, base int, phase string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+2 { // tolerate runtime timers
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutines leaked after %s: %d at start, %d now\n%s",
+		phase, base, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+}

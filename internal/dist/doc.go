@@ -1,0 +1,35 @@
+// Package dist is the fault-tolerant campaign coordinator: it fans a
+// deterministically sharded campaign (exp.Shard) out to supervised
+// worker processes and merges their per-shard JSONL streams back into
+// the byte-identical unsharded output.
+//
+// The design leans entirely on determinism. Because shard i/n of a
+// campaign always produces the same bytes, every recovery mechanism is
+// free of coordination hazards: a crashed worker's shard is simply
+// re-leased (the retry reproduces the lost work exactly), a straggler
+// shard can be raced by a second lease on an idle worker (whichever
+// finishes first wins, and the loser's identical bytes are discarded),
+// and a shard file's integrity is checkable against the size and
+// SHA-256 the worker reported as it wrote.
+//
+// The pieces:
+//
+//   - proto.go — the line-delimited JSON protocol spoken over worker
+//     stdin/stdout (config/lease/shutdown down, hello/heartbeat/
+//     progress/done/error up), with typed decode errors.
+//   - exec.go — the Launcher/Proc seam between supervision and process
+//     transport; LocalLauncher spawns local subprocesses, and SSH or
+//     k8s launchers can slot in without touching the coordinator.
+//   - worker.go — ServeWorker, the worker-side lease loop with
+//     periodic heartbeats and hashed shard output.
+//   - coord.go — the Coordinator: deadline-based liveness, capped
+//     exponential-backoff restarts, percentile-based work-stealing,
+//     streaming prefix merge, and graceful degradation to in-process
+//     execution when supervision runs out of options.
+//   - chaos.go — the test-only fault-injection harness (SIGKILL
+//     mid-shard, heartbeat-silent hangs, torn output files) behind the
+//     GONOC_DIST_CHAOS env knob.
+//
+// cmd/noccoord exposes the coordinator over any worker command line;
+// nocsweep -workers N is the one-command local case.
+package dist

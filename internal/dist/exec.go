@@ -1,0 +1,121 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os/exec"
+	"sync"
+)
+
+// Proc is one live worker process as the coordinator sees it: a
+// protocol channel plus a kill switch. The interface is the seam
+// between supervision logic and process transport — the local
+// subprocess launcher below is the only production implementation
+// today, but an SSH or k8s-Job launcher slots in without touching the
+// coordinator, and the tests drive the supervisor through an
+// in-process fake.
+type Proc interface {
+	// Send writes one protocol message to the worker's stdin. Safe for
+	// concurrent use.
+	Send(m Msg) error
+	// Lines streams the worker's stdout line by line (protocol and
+	// noise alike; the coordinator sorts them out). The channel closes
+	// when the worker's stdout does — on exit or kill.
+	Lines() <-chan []byte
+	// CloseSend closes the worker's stdin, the polite shutdown signal:
+	// a healthy worker drains it and exits on EOF.
+	CloseSend() error
+	// Kill terminates the worker immediately (SIGKILL locally).
+	Kill() error
+	// Done yields the worker's exit status once, then closes.
+	Done() <-chan error
+}
+
+// Launcher spawns workers. Start is called once per worker slot and
+// again on every supervised restart.
+type Launcher interface {
+	Start(ctx context.Context, worker int) (Proc, error)
+}
+
+// LocalLauncher runs workers as local subprocesses of the given argv.
+type LocalLauncher struct {
+	// Argv is the worker command line, Argv[0] the binary.
+	Argv []string
+	// Env, when non-nil, replaces the child environment (os/exec
+	// semantics: nil inherits).
+	Env []string
+	// Stderr, when set, receives the workers' stderr (interleaved).
+	Stderr io.Writer
+}
+
+// Start implements Launcher.
+func (l *LocalLauncher) Start(ctx context.Context, worker int) (Proc, error) {
+	if len(l.Argv) == 0 {
+		return nil, fmt.Errorf("dist: local launcher without argv")
+	}
+	cmd := exec.CommandContext(ctx, l.Argv[0], l.Argv[1:]...)
+	cmd.Env = l.Env
+	cmd.Stderr = l.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker %d stdin: %w", worker, err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker %d stdout: %w", worker, err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("dist: worker %d start: %w", worker, err)
+	}
+	p := &localProc{cmd: cmd, stdin: stdin, lines: make(chan []byte, 16), done: make(chan error, 1)}
+	go p.pump(stdout)
+	return p, nil
+}
+
+type localProc struct {
+	cmd   *exec.Cmd
+	mu    sync.Mutex // guards stdin writes and close
+	stdin io.WriteCloser
+	lines chan []byte
+	done  chan error
+}
+
+// pump forwards stdout lines until EOF, then reaps the process.
+// cmd.Wait must not run concurrently with pipe reads, so the reap
+// strictly follows the pump.
+func (p *localProc) pump(stdout io.Reader) {
+	sc := bufio.NewScanner(stdout)
+	sc.Buffer(make([]byte, 0, 1<<14), 1<<20)
+	for sc.Scan() {
+		line := append([]byte(nil), sc.Bytes()...)
+		p.lines <- line
+	}
+	close(p.lines)
+	p.done <- p.cmd.Wait()
+	close(p.done)
+}
+
+func (p *localProc) Send(m Msg) error {
+	b, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, err = p.stdin.Write(b)
+	return err
+}
+
+func (p *localProc) Lines() <-chan []byte { return p.lines }
+
+func (p *localProc) CloseSend() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stdin.Close()
+}
+
+func (p *localProc) Kill() error { return p.cmd.Process.Kill() }
+
+func (p *localProc) Done() <-chan error { return p.done }

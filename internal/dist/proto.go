@@ -1,0 +1,152 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// The coordinator and its workers speak a line-delimited JSON protocol
+// over the worker's stdin/stdout: one Msg per line, nothing else on
+// the wire. The message set is deliberately tiny — the bulk data (the
+// shard's JSONL run records) never travels over the pipe; workers
+// write it straight to per-attempt files and only the completion
+// announcement (byte count plus content hash) crosses the protocol, so
+// a corrupted or truncated shard file is detectable without trusting
+// the worker.
+//
+// Coordinator → worker: config (once, before any lease), lease (one
+// shard attempt), shutdown. Worker → coordinator: hello (once, at
+// start), heartbeat (periodic liveness + progress), progress
+// (event-driven progress), done (shard attempt complete), error (shard
+// attempt failed but the worker survives).
+
+// Message types.
+const (
+	MsgHello     = "hello"
+	MsgConfig    = "config"
+	MsgLease     = "lease"
+	MsgHeartbeat = "heartbeat"
+	MsgProgress  = "progress"
+	MsgDone      = "done"
+	MsgError     = "error"
+	MsgShutdown  = "shutdown"
+)
+
+// Msg is the single wire struct of the protocol; Type selects which
+// fields are meaningful (see the per-type validation in Decode).
+type Msg struct {
+	Type string `json:"type"`
+
+	// PID identifies the worker process (hello).
+	PID int `json:"pid,omitempty"`
+
+	// HeartbeatMS is the worker's send interval (config).
+	HeartbeatMS int64 `json:"heartbeat_ms,omitempty"`
+
+	// Shard/Count/Attempt/Out name one shard attempt (lease; echoed by
+	// heartbeat/progress/done/error).
+	Shard   int    `json:"shard"`
+	Count   int    `json:"count,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	Out     string `json:"out,omitempty"`
+
+	// Done/Total report shard progress in completed campaign points
+	// (heartbeat, progress).
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+
+	// Bytes/SHA256/Lines describe the completed shard file as the
+	// worker wrote it (done). The coordinator re-hashes the file; a
+	// mismatch means the output was torn or corrupted after the write.
+	Bytes  int64  `json:"bytes,omitempty"`
+	SHA256 string `json:"sha256,omitempty"`
+	Lines  int    `json:"lines,omitempty"`
+
+	// Err carries the failure text (error).
+	Err string `json:"err,omitempty"`
+}
+
+// Typed protocol errors. Every malformed, truncated or out-of-order
+// input maps to one of these (wrapped with context), never to a panic:
+// the coordinator treats a protocol violation as a worker fault to
+// supervise, not a reason to die.
+var (
+	// ErrMalformed marks a line that is not a JSON protocol message.
+	ErrMalformed = errors.New("dist: malformed protocol message")
+	// ErrBadField marks a structurally valid message whose fields are
+	// out of range for its type.
+	ErrBadField = errors.New("dist: invalid protocol field")
+	// ErrUnexpected marks a well-formed message arriving out of order
+	// for the receiver's state (e.g. a lease before config, or a done
+	// for a shard never leased).
+	ErrUnexpected = errors.New("dist: unexpected protocol message")
+)
+
+// Decode parses and validates one protocol line. The returned error
+// wraps ErrMalformed or ErrBadField.
+func Decode(line []byte) (Msg, error) {
+	var m Msg
+	if err := json.Unmarshal(line, &m); err != nil {
+		return Msg{}, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	if err := m.validate(); err != nil {
+		return Msg{}, err
+	}
+	return m, nil
+}
+
+// Encode renders one protocol line, newline included.
+func Encode(m Msg) ([]byte, error) {
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	return append(b, '\n'), nil
+}
+
+// validate applies the per-type field constraints.
+func (m Msg) validate() error {
+	switch m.Type {
+	case MsgHello, MsgShutdown:
+		return nil
+	case MsgConfig:
+		if m.HeartbeatMS <= 0 {
+			return fmt.Errorf("%w: config heartbeat_ms %d", ErrBadField, m.HeartbeatMS)
+		}
+	case MsgLease:
+		if m.Count < 1 || m.Shard < 0 || m.Shard >= m.Count {
+			return fmt.Errorf("%w: lease shard %d/%d", ErrBadField, m.Shard, m.Count)
+		}
+		if m.Attempt < 0 {
+			return fmt.Errorf("%w: lease attempt %d", ErrBadField, m.Attempt)
+		}
+		if m.Out == "" {
+			return fmt.Errorf("%w: lease without output path", ErrBadField)
+		}
+	case MsgHeartbeat, MsgProgress:
+		if m.Shard < 0 {
+			return fmt.Errorf("%w: %s shard %d", ErrBadField, m.Type, m.Shard)
+		}
+		if m.Done < 0 || m.Total < 0 || (m.Total > 0 && m.Done > m.Total) {
+			return fmt.Errorf("%w: %s progress %d/%d", ErrBadField, m.Type, m.Done, m.Total)
+		}
+	case MsgDone:
+		if m.Shard < 0 || m.Attempt < 0 {
+			return fmt.Errorf("%w: done shard %d attempt %d", ErrBadField, m.Shard, m.Attempt)
+		}
+		if m.Bytes < 0 || m.Lines < 0 {
+			return fmt.Errorf("%w: done bytes %d lines %d", ErrBadField, m.Bytes, m.Lines)
+		}
+	case MsgError:
+		if m.Shard < 0 {
+			return fmt.Errorf("%w: error shard %d", ErrBadField, m.Shard)
+		}
+	default:
+		return fmt.Errorf("%w: unknown type %q", ErrBadField, m.Type)
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package dist
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// Every message type round-trips through Encode/Decode unchanged.
+func TestProtoRoundTrip(t *testing.T) {
+	msgs := []Msg{
+		{Type: MsgHello, PID: 1234},
+		{Type: MsgConfig, HeartbeatMS: 500},
+		{Type: MsgLease, Shard: 3, Count: 8, Attempt: 1, Out: "/tmp/shard-0003.jsonl"},
+		{Type: MsgHeartbeat, Shard: 3, Done: 5, Total: 20},
+		{Type: MsgProgress, Shard: 3, Done: 6, Total: 20},
+		{Type: MsgDone, Shard: 3, Attempt: 1, Out: "/tmp/s", Bytes: 9999, SHA256: "ab12", Lines: 40},
+		{Type: MsgError, Shard: 3, Attempt: 0, Err: "simulation exploded"},
+		{Type: MsgShutdown},
+	}
+	for _, want := range msgs {
+		b, err := Encode(want)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", want.Type, err)
+		}
+		if b[len(b)-1] != '\n' {
+			t.Fatalf("Encode(%v) missing trailing newline", want.Type)
+		}
+		got, err := Decode(b[:len(b)-1])
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", want.Type, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip changed %v: %+v vs %+v", want.Type, got, want)
+		}
+	}
+}
+
+// Malformed and invalid lines map to the typed errors, never panics.
+func TestProtoTypedErrors(t *testing.T) {
+	cases := []struct {
+		line string
+		want error
+	}{
+		{``, ErrMalformed},
+		{`not json at all`, ErrMalformed},
+		{`{"type":"lease","shard":3}`, ErrBadField},                        // count 0
+		{`{"type":"lease","shard":9,"count":4,"out":"x"}`, ErrBadField},    // shard >= count
+		{`{"type":"lease","shard":0,"count":4}`, ErrBadField},              // no out path
+		{`{"type":"config"}`, ErrBadField},                                 // heartbeat 0
+		{`{"type":"heartbeat","shard":-1}`, ErrBadField},                   // negative shard
+		{`{"type":"heartbeat","shard":0,"done":9,"total":3}`, ErrBadField}, // done > total
+		{`{"type":"done","shard":0,"bytes":-1}`, ErrBadField},
+		{`{"type":"warp-core-breach"}`, ErrBadField},
+		{`{"type":""}`, ErrBadField},
+	}
+	for _, c := range cases {
+		_, err := Decode([]byte(c.line))
+		if !errors.Is(err, c.want) {
+			t.Errorf("Decode(%q) = %v, want %v", c.line, err, c.want)
+		}
+	}
+}
+
+// FuzzProtoDecode hammers the wire parser with arbitrary bytes: every
+// input must either decode cleanly or fail with one of the typed
+// protocol errors — no panics, no untyped failures — and everything
+// that decodes must re-encode and decode back to the same message.
+func FuzzProtoDecode(f *testing.F) {
+	f.Add([]byte(`{"type":"hello","pid":42}`))
+	f.Add([]byte(`{"type":"lease","shard":1,"count":4,"attempt":0,"out":"/tmp/x"}`))
+	f.Add([]byte(`{"type":"done","shard":1,"bytes":100,"sha256":"ff","lines":3}`))
+	f.Add([]byte(`{"type":"heartbeat","shard":`))
+	f.Add([]byte(`{"type":"lease","shard":-3,"count":2,"out":"x"}`))
+	f.Add([]byte(`{"ty`))
+	f.Add([]byte(``))
+	f.Add([]byte("\x00\x01\x02"))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		m, err := Decode(line)
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) && !errors.Is(err, ErrBadField) {
+				t.Fatalf("Decode(%q): untyped error %v", line, err)
+			}
+			return
+		}
+		b, err := Encode(m)
+		if err != nil {
+			t.Fatalf("decoded message does not re-encode: %+v: %v", m, err)
+		}
+		m2, err := Decode(b[:len(b)-1])
+		if err != nil {
+			t.Fatalf("re-encoded message does not decode: %q: %v", b, err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("unstable round trip: %+v vs %+v", m, m2)
+		}
+	})
+}
+
+// The chaos spec parser selects the right directive per shard, gates on
+// attempt 0, and rejects malformed specs with ErrBadField.
+func TestParseChaos(t *testing.T) {
+	spec := "1:kill@5; 2:hang@3 ;4:corrupt"
+	c, err := ParseChaos(spec, 1, 0)
+	if err != nil || c.KillAfter != 5 || c.HangAfter != 0 || c.CorruptOutput {
+		t.Fatalf("shard 1: %+v, %v", c, err)
+	}
+	c, err = ParseChaos(spec, 2, 0)
+	if err != nil || c.HangAfter != 3 || c.KillAfter != 0 {
+		t.Fatalf("shard 2: %+v, %v", c, err)
+	}
+	c, err = ParseChaos(spec, 4, 0)
+	if err != nil || !c.CorruptOutput {
+		t.Fatalf("shard 4: %+v, %v", c, err)
+	}
+	c, err = ParseChaos(spec, 3, 0)
+	if err != nil || c != (Chaos{}) {
+		t.Fatalf("unlisted shard: %+v, %v", c, err)
+	}
+	// Faults fire on attempt 0 only: retries run clean.
+	c, err = ParseChaos(spec, 1, 1)
+	if err != nil || c != (Chaos{}) {
+		t.Fatalf("attempt 1: %+v, %v", c, err)
+	}
+	if c, err := ParseChaos("", 0, 0); err != nil || c != (Chaos{}) {
+		t.Fatalf("empty spec: %+v, %v", c, err)
+	}
+	for _, bad := range []string{
+		"nonsense", "1:kill", "1:hang", "1:corrupt@3", "x:kill@2", "-1:kill@2", "1:kill@0", "1:meteor@2",
+	} {
+		if _, err := ParseChaos(bad, 0, 0); !errors.Is(err, ErrBadField) {
+			t.Errorf("ParseChaos(%q) = %v, want ErrBadField", bad, err)
+		}
+	}
+}

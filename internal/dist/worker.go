@@ -1,0 +1,234 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Lease names one shard attempt handed to a worker: run shard
+// Shard/Count and write the run records to Out. Attempt counts
+// re-leases of the same shard (restart or steal); determinism makes
+// every attempt's output byte-identical, which is why duplicate
+// completions are benign.
+type Lease struct {
+	Shard, Count, Attempt int
+	Out                   string
+}
+
+// ShardRunner executes one leased shard, writing its JSONL run records
+// to w and reporting progress (completed points, planned points) as
+// they finish. The records must be a deterministic function of the
+// lease — the whole fault-tolerance story (free retries, benign steal
+// races) rests on re-runs reproducing identical bytes.
+type ShardRunner func(ctx context.Context, lease Lease, w io.Writer, progress func(done, total int)) error
+
+// WorkerOptions configures ServeWorker.
+type WorkerOptions struct {
+	// ChaosSpec is the test-only fault-injection spec (see ChaosEnv);
+	// production callers pass os.Getenv(ChaosEnv), which is empty
+	// outside the chaos tests.
+	ChaosSpec string
+}
+
+// protoWriter serializes protocol sends from the main loop and the
+// heartbeat goroutine onto one stream.
+type protoWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (p *protoWriter) send(m Msg) error {
+	b, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, err = p.w.Write(b)
+	return err
+}
+
+// ServeWorker runs the worker half of the protocol: it announces
+// itself, waits for the coordinator's config, then serves leases one
+// at a time until stdin closes, a shutdown message arrives, or ctx is
+// cancelled. Protocol violations return typed errors (ErrMalformed /
+// ErrBadField / ErrUnexpected wrapped with context) — never panics —
+// so a confused coordinator shows up as a supervisable worker exit.
+func ServeWorker(ctx context.Context, in io.Reader, out io.Writer, run ShardRunner, opts WorkerOptions) error {
+	pw := &protoWriter{w: out}
+	if err := pw.send(Msg{Type: MsgHello, PID: os.Getpid()}); err != nil {
+		return err
+	}
+
+	// Heartbeat state, shared with the sender goroutine.
+	var hb struct {
+		sync.Mutex
+		active      bool
+		shard       int
+		done, total int
+	}
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	var hbOnce sync.Once
+	startHeartbeats := func(interval time.Duration) {
+		hbOnce.Do(func() {
+			go func() {
+				t := time.NewTicker(interval)
+				defer t.Stop()
+				for {
+					select {
+					case <-hbCtx.Done():
+						return
+					case <-t.C:
+						hb.Lock()
+						m := Msg{Type: MsgHeartbeat}
+						if hb.active {
+							m.Shard, m.Done, m.Total = hb.shard, hb.done, hb.total
+						}
+						hb.Unlock()
+						if err := pw.send(m); err != nil {
+							return // coordinator gone; main loop will notice too
+						}
+					}
+				}
+			}()
+		})
+	}
+
+	configured := false
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<14), 1<<20)
+	for sc.Scan() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		m, err := Decode(sc.Bytes())
+		if err != nil {
+			return fmt.Errorf("worker: %w", err)
+		}
+		switch m.Type {
+		case MsgConfig:
+			configured = true
+			startHeartbeats(time.Duration(m.HeartbeatMS) * time.Millisecond)
+		case MsgShutdown:
+			return nil
+		case MsgLease:
+			if !configured {
+				return fmt.Errorf("%w: lease before config", ErrUnexpected)
+			}
+			lease := Lease{Shard: m.Shard, Count: m.Count, Attempt: m.Attempt, Out: m.Out}
+			chaos, err := ParseChaos(opts.ChaosSpec, lease.Shard, lease.Attempt)
+			if err != nil {
+				return err
+			}
+			hb.Lock()
+			hb.active, hb.shard, hb.done, hb.total = true, lease.Shard, 0, 0
+			hb.Unlock()
+			res, err := runLease(ctx, lease, chaos, pw, &hb.Mutex, run, func(done, total int) {
+				hb.Lock()
+				hb.done, hb.total = done, total
+				hb.Unlock()
+			})
+			hb.Lock()
+			hb.active = false
+			hb.Unlock()
+			if err != nil {
+				if sendErr := pw.send(Msg{Type: MsgError, Shard: lease.Shard, Attempt: lease.Attempt, Err: err.Error()}); sendErr != nil {
+					return sendErr
+				}
+				continue
+			}
+			if err := pw.send(res); err != nil {
+				return err
+			}
+		case MsgHello, MsgHeartbeat, MsgProgress, MsgDone, MsgError:
+			return fmt.Errorf("%w: %s on worker side", ErrUnexpected, m.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("worker: reading leases: %w", err)
+	}
+	return ctx.Err() // EOF: coordinator closed our stdin — clean exit
+}
+
+// hashingFile counts and hashes everything written to the shard file,
+// so the done message describes exactly what the worker believes it
+// wrote — the coordinator re-hashes the file to catch anything lost
+// between that write and its read.
+type hashingFile struct {
+	f     *os.File
+	h     hash.Hash
+	n     int64
+	lines int
+}
+
+func (w *hashingFile) Write(p []byte) (int, error) {
+	n, err := w.f.Write(p)
+	w.h.Write(p[:n])
+	w.n += int64(n)
+	for _, b := range p[:n] {
+		if b == '\n' {
+			w.lines++
+		}
+	}
+	return n, err
+}
+
+// runLease executes one shard attempt with chaos applied and returns
+// the done message describing the written file.
+func runLease(ctx context.Context, lease Lease, chaos Chaos, pw *protoWriter, hbMu *sync.Mutex, run ShardRunner, onProgress func(done, total int)) (Msg, error) {
+	f, err := os.Create(lease.Out)
+	if err != nil {
+		return Msg{}, fmt.Errorf("worker: shard %d output: %w", lease.Shard, err)
+	}
+	hf := &hashingFile{f: f, h: sha256.New()}
+	points := 0
+	progress := func(done, total int) {
+		points++
+		onProgress(done, total)
+		if chaos.KillAfter > 0 && points == chaos.KillAfter {
+			// A real SIGKILL: uncatchable, mid-shard, file torn exactly
+			// where the buffer happened to be.
+			_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			select {} // unreachable; the signal is synchronous enough
+		}
+		if chaos.HangAfter > 0 && points == chaos.HangAfter {
+			// Wedge with the protocol writer held: progress stops AND
+			// heartbeats stop, the signature of a livelocked process.
+			// Only the coordinator's deadline kill (or a steal racing
+			// past us) ends this. A sleep loop, not select{}: with every
+			// goroutine parked the runtime would call it a deadlock and
+			// crash, which is a different failure than a hang.
+			pw.mu.Lock()
+			hbMu.Lock()
+			for {
+				time.Sleep(time.Hour)
+			}
+		}
+	}
+	if err := run(ctx, lease, hf, progress); err != nil {
+		f.Close()
+		return Msg{}, err
+	}
+	if err := f.Close(); err != nil {
+		return Msg{}, fmt.Errorf("worker: closing shard %d output: %w", lease.Shard, err)
+	}
+	if chaos.CorruptOutput {
+		// Tear the file after the fact but report the pre-truncation
+		// size and hash: the coordinator must detect the mismatch.
+		_ = os.Truncate(lease.Out, hf.n*2/3)
+	}
+	return Msg{
+		Type: MsgDone, Shard: lease.Shard, Attempt: lease.Attempt, Out: lease.Out,
+		Bytes: hf.n, SHA256: hex.EncodeToString(hf.h.Sum(nil)), Lines: hf.lines,
+	}, nil
+}

@@ -1,0 +1,278 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// workerConn drives one in-process ServeWorker over pipes the way the
+// coordinator drives a subprocess over stdin/stdout.
+type workerConn struct {
+	t    *testing.T
+	inW  *io.PipeWriter
+	msgs chan Msg
+	errc chan error
+}
+
+func startWorker(t *testing.T, run ShardRunner, opts WorkerOptions) *workerConn {
+	t.Helper()
+	inR, inW := io.Pipe()
+	outR, outW := io.Pipe()
+	c := &workerConn{t: t, inW: inW, msgs: make(chan Msg, 256), errc: make(chan error, 1)}
+	go func() {
+		err := ServeWorker(context.Background(), inR, outW, run, opts)
+		outW.Close()
+		inR.Close()
+		c.errc <- err
+	}()
+	go func() {
+		sc := bufio.NewScanner(outR)
+		for sc.Scan() {
+			m, err := Decode(sc.Bytes())
+			if err != nil {
+				t.Errorf("worker emitted undecodable line %q: %v", sc.Bytes(), err)
+				continue
+			}
+			c.msgs <- m
+		}
+		close(c.msgs)
+	}()
+	return c
+}
+
+func (c *workerConn) send(m Msg) {
+	c.t.Helper()
+	b, err := Encode(m)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	if _, err := c.inW.Write(b); err != nil {
+		c.t.Fatalf("send %s: %v", m.Type, err)
+	}
+}
+
+func (c *workerConn) sendRaw(line string) {
+	c.t.Helper()
+	if _, err := io.WriteString(c.inW, line+"\n"); err != nil {
+		c.t.Fatalf("send raw: %v", err)
+	}
+}
+
+// expect reads messages until one of the wanted type arrives, skipping
+// heartbeats (they interleave freely with everything).
+func (c *workerConn) expect(typ string) Msg {
+	c.t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case m, ok := <-c.msgs:
+			if !ok {
+				c.t.Fatalf("worker output closed while waiting for %s", typ)
+			}
+			if m.Type == typ {
+				return m
+			}
+			if m.Type == MsgHeartbeat || m.Type == MsgProgress || m.Type == MsgHello {
+				continue
+			}
+			c.t.Fatalf("got %s while waiting for %s: %+v", m.Type, typ, m)
+		case <-deadline:
+			c.t.Fatalf("timed out waiting for %s", typ)
+		}
+	}
+}
+
+func (c *workerConn) wait() error {
+	c.t.Helper()
+	select {
+	case err := <-c.errc:
+		return err
+	case <-time.After(5 * time.Second):
+		c.t.Fatal("worker did not exit")
+		return nil
+	}
+}
+
+// countingRunner writes one line per synthetic point and reports
+// progress, so heartbeat payloads and hashes have something to carry.
+func countingRunner(points int, perPoint time.Duration) ShardRunner {
+	return func(ctx context.Context, lease Lease, w io.Writer, progress func(done, total int)) error {
+		for i := 0; i < points; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "{\"kind\":\"run\",\"shard\":%d,\"point\":%d}\n", lease.Shard, i)
+			progress(i+1, points)
+			if perPoint > 0 {
+				time.Sleep(perPoint)
+			}
+		}
+		return nil
+	}
+}
+
+// A healthy session: hello, config, one lease served with a done whose
+// size/hash match the file on disk, then clean shutdown.
+func TestServeWorkerLeaseLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	c := startWorker(t, countingRunner(7, 0), WorkerOptions{})
+	c.expect(MsgHello)
+	c.send(Msg{Type: MsgConfig, HeartbeatMS: 50})
+	out := filepath.Join(dir, "shard-0002.jsonl")
+	c.send(Msg{Type: MsgLease, Shard: 2, Count: 4, Attempt: 0, Out: out})
+	done := c.expect(MsgDone)
+	if done.Shard != 2 || done.Attempt != 0 || done.Lines != 7 {
+		t.Fatalf("done = %+v", done)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(data)) != done.Bytes {
+		t.Fatalf("file is %d bytes, done claims %d", len(data), done.Bytes)
+	}
+	sum := sha256.Sum256(data)
+	if got := hex.EncodeToString(sum[:]); got != done.SHA256 {
+		t.Fatalf("file hash %s, done claims %s", got, done.SHA256)
+	}
+	c.send(Msg{Type: MsgShutdown})
+	if err := c.wait(); err != nil {
+		t.Fatalf("clean shutdown returned %v", err)
+	}
+}
+
+// Closing stdin (the polite EOF shutdown) also exits cleanly.
+func TestServeWorkerEOFExit(t *testing.T) {
+	c := startWorker(t, countingRunner(1, 0), WorkerOptions{})
+	c.expect(MsgHello)
+	c.inW.Close()
+	if err := c.wait(); err != nil {
+		t.Fatalf("EOF exit returned %v", err)
+	}
+}
+
+// A lease before config is a protocol-order violation: the worker exits
+// with ErrUnexpected instead of guessing a heartbeat interval.
+func TestServeWorkerLeaseBeforeConfig(t *testing.T) {
+	c := startWorker(t, countingRunner(1, 0), WorkerOptions{})
+	c.send(Msg{Type: MsgLease, Shard: 0, Count: 1, Out: filepath.Join(t.TempDir(), "s.jsonl")})
+	if err := c.wait(); !errors.Is(err, ErrUnexpected) {
+		t.Fatalf("lease before config returned %v, want ErrUnexpected", err)
+	}
+}
+
+// Worker-direction message types arriving at the worker are rejected
+// with ErrUnexpected, and garbage lines with ErrMalformed.
+func TestServeWorkerRejectsBadInput(t *testing.T) {
+	c := startWorker(t, countingRunner(1, 0), WorkerOptions{})
+	c.send(Msg{Type: MsgDone, Shard: 0})
+	if err := c.wait(); !errors.Is(err, ErrUnexpected) {
+		t.Fatalf("done at worker returned %v, want ErrUnexpected", err)
+	}
+
+	c = startWorker(t, countingRunner(1, 0), WorkerOptions{})
+	c.sendRaw("{{{ not a protocol line")
+	if err := c.wait(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("garbage at worker returned %v, want ErrMalformed", err)
+	}
+}
+
+// A failing shard produces an error message, not a worker death: the
+// next lease on the same worker still completes.
+func TestServeWorkerShardErrorContinues(t *testing.T) {
+	dir := t.TempDir()
+	run := func(ctx context.Context, lease Lease, w io.Writer, progress func(done, total int)) error {
+		if lease.Shard == 0 {
+			return errors.New("synthetic shard failure")
+		}
+		return countingRunner(3, 0)(ctx, lease, w, progress)
+	}
+	c := startWorker(t, run, WorkerOptions{})
+	c.expect(MsgHello)
+	c.send(Msg{Type: MsgConfig, HeartbeatMS: 50})
+	c.send(Msg{Type: MsgLease, Shard: 0, Count: 2, Out: filepath.Join(dir, "a.jsonl")})
+	errMsg := c.expect(MsgError)
+	if errMsg.Shard != 0 || !strings.Contains(errMsg.Err, "synthetic shard failure") {
+		t.Fatalf("error message = %+v", errMsg)
+	}
+	c.send(Msg{Type: MsgLease, Shard: 1, Count: 2, Out: filepath.Join(dir, "b.jsonl")})
+	if done := c.expect(MsgDone); done.Shard != 1 {
+		t.Fatalf("done = %+v", done)
+	}
+	c.send(Msg{Type: MsgShutdown})
+	if err := c.wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Heartbeats flow during a long-running lease and carry its progress.
+func TestServeWorkerHeartbeats(t *testing.T) {
+	c := startWorker(t, countingRunner(20, 5*time.Millisecond), WorkerOptions{})
+	c.expect(MsgHello)
+	c.send(Msg{Type: MsgConfig, HeartbeatMS: 10})
+	c.send(Msg{Type: MsgLease, Shard: 1, Count: 2, Out: filepath.Join(t.TempDir(), "s.jsonl")})
+	beats, sawProgress := 0, false
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case m := <-c.msgs:
+			switch m.Type {
+			case MsgHeartbeat:
+				beats++
+				if m.Shard == 1 && m.Done > 0 {
+					sawProgress = true
+				}
+			case MsgDone:
+				if beats < 2 {
+					t.Fatalf("only %d heartbeats across a ~100ms lease", beats)
+				}
+				if !sawProgress {
+					t.Fatal("no heartbeat carried lease progress")
+				}
+				c.send(Msg{Type: MsgShutdown})
+				if err := c.wait(); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("lease never completed")
+		}
+	}
+}
+
+// The CorruptOutput chaos truncates the file but reports the original
+// size and hash — the seam the coordinator's validation must catch.
+func TestServeWorkerCorruptChaos(t *testing.T) {
+	dir := t.TempDir()
+	c := startWorker(t, countingRunner(6, 0), WorkerOptions{ChaosSpec: "0:corrupt"})
+	c.expect(MsgHello)
+	c.send(Msg{Type: MsgConfig, HeartbeatMS: 50})
+	out := filepath.Join(dir, "s.jsonl")
+	c.send(Msg{Type: MsgLease, Shard: 0, Count: 1, Out: out})
+	done := c.expect(MsgDone)
+	fi, err := os.Stat(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() >= done.Bytes {
+		t.Fatalf("chaos did not truncate: file %d bytes, reported %d", fi.Size(), done.Bytes)
+	}
+	if err := validateFile(out, done.Bytes, done.SHA256); err == nil {
+		t.Fatal("validateFile accepted the torn file")
+	}
+	c.send(Msg{Type: MsgShutdown})
+	if err := c.wait(); err != nil {
+		t.Fatal(err)
+	}
+}

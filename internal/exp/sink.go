@@ -54,9 +54,15 @@ func (m MultiSink) Summary(a Aggregate) error {
 	return nil
 }
 
-// runRecord is the JSONL wire form of one replication.
+// runRecord is the JSONL wire form of one replication. Index is the
+// global campaign enumeration position (Point.Index), carried on the
+// wire so shard-merge coverage validation can prove that a set of
+// shard files tiles the campaign exactly; it is a pointer so streams
+// written before the field existed decode as nil (legacy) rather than
+// as a false position 0.
 type runRecord struct {
 	Kind     string            `json:"kind"`
+	Index    *int              `json:"index,omitempty"`
 	Campaign string            `json:"campaign,omitempty"`
 	Topo     core.TopologyKind `json:"topo"`
 	Nodes    int               `json:"nodes"`
@@ -104,8 +110,10 @@ func (j *JSONLWriter) writeLine(v any) error {
 
 // Run implements Sink.
 func (j *JSONLWriter) Run(o Outcome) error {
+	idx := o.Point.Index
 	return j.writeLine(runRecord{
 		Kind:        "run",
+		Index:       &idx,
 		Campaign:    o.Campaign,
 		Topo:        o.Point.Topo,
 		Nodes:       o.Point.Nodes,
